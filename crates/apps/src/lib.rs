@@ -1,0 +1,5 @@
+//! # tranad-apps
+//!
+//! Host crate for the workspace-level runnable examples (`/examples`) and
+//! cross-crate integration tests (`/tests`). Contains no library code of
+//! its own — see the `tranad` crate for the public API.

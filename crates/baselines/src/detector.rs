@@ -1,0 +1,64 @@
+//! The common interface every anomaly-detection method implements, so the
+//! benchmark harness can sweep methods × datasets uniformly.
+
+use tranad_data::TimeSeries;
+
+/// Training diagnostics shared by all methods (feeds Table 5).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FitReport {
+    /// Wall-clock seconds per epoch (for MERLIN: total discovery time, as
+    /// in the paper's Table 5 footnote).
+    pub seconds_per_epoch: f64,
+    /// Number of epochs run.
+    pub epochs: usize,
+}
+
+/// A multivariate time-series anomaly detector.
+///
+/// The lifecycle is `fit` on a raw (unnormalized) training series, then
+/// `score` any number of test series. Scores are per-timestamp,
+/// per-dimension, non-negative, and higher = more anomalous.
+pub trait Detector {
+    /// Method name as it appears in the paper's tables.
+    fn name(&self) -> &'static str;
+
+    /// Fits the detector. Must be called before `score`.
+    fn fit(&mut self, train: &TimeSeries) -> FitReport;
+
+    /// Per-dimension anomaly scores, `scores[t][d]`.
+    fn score(&self, test: &TimeSeries) -> Vec<Vec<f64>>;
+
+    /// Scores on the training series (the POT calibration sample).
+    fn train_scores(&self) -> &[Vec<f64>];
+
+    /// Optional method-specific labeling (e.g. LSTM-NDT's NDT thresholds).
+    /// `None` means the harness applies the shared POT procedure.
+    fn native_labels(&self, _test: &TimeSeries) -> Option<Vec<bool>> {
+        None
+    }
+}
+
+/// Aggregates per-dimension scores into a per-timestamp score (mean).
+pub fn aggregate_scores(scores: &[Vec<f64>]) -> Vec<f64> {
+    scores
+        .iter()
+        .map(|row| row.iter().sum::<f64>() / row.len().max(1) as f64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_is_row_mean() {
+        let s = vec![vec![1.0, 3.0], vec![0.0, 0.0]];
+        assert_eq!(aggregate_scores(&s), vec![2.0, 0.0]);
+    }
+
+    #[test]
+    fn aggregate_empty_rows() {
+        let s: Vec<Vec<f64>> = vec![vec![]];
+        assert_eq!(aggregate_scores(&s), vec![0.0]);
+    }
+}

@@ -1,0 +1,68 @@
+//! # tranad-baselines
+//!
+//! Every baseline method of the TranAD paper's evaluation (Table 2),
+//! implemented on the same substrate as TranAD itself so training-time and
+//! detection comparisons are apples-to-apples:
+//!
+//! | Module | Method | Core idea kept |
+//! |---|---|---|
+//! | [`merlin`] | MERLIN | parameter-free discord discovery |
+//! | [`lstm_ndt`] | LSTM-NDT | LSTM forecasting + NDT thresholds |
+//! | [`dagmm`] | DAGMM | autoencoder + GMM energy |
+//! | [`omni`] | OmniAnomaly | GRU-VAE reconstruction probability |
+//! | [`mscred`] | MSCRED | multi-scale signature matrices |
+//! | [`madgan`] | MAD-GAN | LSTM GAN, recon + discriminator score |
+//! | [`usad`] | USAD | two-decoder adversarial autoencoder |
+//! | [`mtad_gat`] | MTAD-GAT | feature + time graph attention, GRU |
+//! | [`caem`] | CAE-M | autoencoder + bidirectional LSTM memory |
+//! | [`gdn`] | GDN | sensor graph + deviation normalization |
+//! | [`iforest`] | Isolation Forest | random isolation trees |
+//!
+//! All expose the [`Detector`] trait; [`all_detectors`] builds the Table 2
+//! roster. Simplifications relative to the original systems are documented
+//! per module and in DESIGN.md.
+
+pub mod caem;
+pub mod common;
+pub mod dagmm;
+pub mod detector;
+pub mod gdn;
+pub mod gmm;
+pub mod iforest;
+pub mod lstm_ndt;
+pub mod madgan;
+pub mod merlin;
+pub mod mscred;
+pub mod mtad_gat;
+pub mod omni;
+pub mod tranad_adapter;
+
+#[cfg(test)]
+pub(crate) mod testutil;
+
+pub use common::NeuralConfig;
+pub use detector::{aggregate_scores, Detector, FitReport};
+pub use merlin::{Merlin, MerlinConfig};
+pub use tranad_adapter::TranadDetector;
+
+use tranad::TranadConfig;
+
+/// Builds the full Table 2 method roster (excluding Isolation Forest,
+/// which the paper dropped), each boxed behind the [`Detector`] trait.
+pub fn all_detectors(neural: NeuralConfig, tranad_config: TranadConfig) -> Vec<Box<dyn Detector>> {
+    vec![
+        Box::new(Merlin::new(MerlinConfig::optimized(10, 40))),
+        Box::new(lstm_ndt::LstmNdt::new(neural)),
+        Box::new(dagmm::Dagmm::new(neural)),
+        Box::new(omni::OmniAnomaly::new(neural)),
+        Box::new(mscred::Mscred::new(neural)),
+        Box::new(madgan::MadGan::new(neural)),
+        Box::new(usad::Usad::new(neural)),
+        Box::new(mtad_gat::MtadGat::new(neural)),
+        Box::new(caem::CaeM::new(neural)),
+        Box::new(gdn::Gdn::new(neural)),
+        Box::new(TranadDetector::new(tranad_config)),
+    ]
+}
+
+pub mod usad;

@@ -1,0 +1,60 @@
+//! Regenerates the paper's Figures 2–7 as CSV series + textual summaries.
+//!
+//! ```text
+//! figures --figure 4 [--scale 0.004] [--dataset SMD] [--quick]
+//! figures --all
+//! ```
+
+use tranad_bench::figures::{figure2, figure3, figure4, figure5, figure6, figure7};
+use tranad_bench::HarnessConfig;
+use tranad_data::{DatasetKind, GenConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut figures: Vec<u32> = Vec::new();
+    let mut cfg = HarnessConfig::default();
+    let mut datasets: Vec<DatasetKind> = Vec::new();
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--figure" => {
+                i += 1;
+                figures.push(args[i].parse().expect("--figure takes a number 2-7"));
+            }
+            "--all" => figures.extend(2..=7),
+            "--quick" => cfg = HarnessConfig::quick(),
+            "--scale" => {
+                i += 1;
+                let scale: f64 = args[i].parse().expect("--scale takes a float");
+                cfg.gen = GenConfig { scale, ..cfg.gen };
+            }
+            "--dataset" => {
+                i += 1;
+                datasets.push(
+                    DatasetKind::parse(&args[i])
+                        .unwrap_or_else(|| panic!("unknown dataset {}", args[i])),
+                );
+            }
+            other => panic!("unknown argument {other}"),
+        }
+        i += 1;
+    }
+    if figures.is_empty() {
+        figures.push(4);
+    }
+
+    for f in figures {
+        println!("==== Figure {f} ====");
+        let out = match f {
+            2 => figure2(&cfg),
+            3 => figure3(&cfg),
+            4 => figure4(&cfg),
+            5 => figure5(&cfg),
+            6 => figure6(&cfg, &datasets),
+            7 => figure7(&cfg, &datasets),
+            other => panic!("no figure {other} in the paper's evaluation"),
+        };
+        println!("{out}");
+    }
+}

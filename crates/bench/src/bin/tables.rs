@@ -1,0 +1,120 @@
+//! Regenerates the paper's Tables 1–7.
+//!
+//! ```text
+//! tables --table 2 [--scale 0.004] [--dataset SMD --dataset NAB]
+//!        [--method TranAD] [--subsets 2] [--quick]
+//! tables --all
+//! ```
+
+use tranad_bench::tables::{
+    render_table2, render_table3, render_table4, render_table6, render_table7, table1, table2,
+    table3, table4, table5, table6, table7,
+};
+use tranad_bench::{HarnessConfig, Method};
+use tranad_data::{DatasetKind, GenConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut tables: Vec<u32> = Vec::new();
+    let mut cfg = HarnessConfig::default();
+    let mut datasets: Vec<DatasetKind> = Vec::new();
+    let mut methods: Vec<Method> = Vec::new();
+    let mut subsets = 2usize;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--table" => {
+                i += 1;
+                tables.push(args[i].parse().expect("--table takes a number 1-7"));
+            }
+            "--all" => tables.extend(1..=7),
+            "--quick" => cfg = HarnessConfig::quick(),
+            "--scale" => {
+                i += 1;
+                let scale: f64 = args[i].parse().expect("--scale takes a float");
+                cfg.gen = GenConfig { scale, ..cfg.gen };
+            }
+            "--seed" => {
+                i += 1;
+                let seed: u64 = args[i].parse().expect("--seed takes an integer");
+                cfg.gen.seed = seed;
+            }
+            "--subsets" => {
+                i += 1;
+                subsets = args[i].parse().expect("--subsets takes an integer");
+            }
+            "--dataset" => {
+                i += 1;
+                datasets.push(
+                    DatasetKind::parse(&args[i])
+                        .unwrap_or_else(|| panic!("unknown dataset {}", args[i])),
+                );
+            }
+            "--method" => {
+                i += 1;
+                let name = &args[i];
+                let m = Method::table2()
+                    .into_iter()
+                    .find(|m| m.name().eq_ignore_ascii_case(name))
+                    .unwrap_or_else(|| panic!("unknown method {name}"));
+                methods.push(m);
+            }
+            other => panic!("unknown argument {other}"),
+        }
+        i += 1;
+    }
+    if tables.is_empty() {
+        tables.push(2);
+    }
+
+    let progress = |label: &str| {
+        let label = label.to_string();
+        move |r: &tranad_bench::RunResult| {
+            eprintln!(
+                "[{label}] {} / {}: F1={:.4} AUC={:.4} ({:.2}s/epoch)",
+                r.dataset, r.method, r.f1, r.auc, r.secs_per_epoch
+            );
+        }
+    };
+
+    for t in tables {
+        println!("==== Table {t} ====");
+        match t {
+            1 => println!("{}", table1(&cfg)),
+            2 => {
+                let rows = table2(&cfg, &datasets, &methods, progress("T2"));
+                println!("{}", render_table2(&rows));
+            }
+            3 => {
+                let rows = table3(&cfg, &datasets, &methods, subsets, progress("T3"));
+                println!("{}", render_table3(&rows));
+            }
+            4 => {
+                let rows = table4(&cfg, &methods, |r| {
+                    eprintln!("[T4] {} / {}: H@100={:.4}", r.dataset, r.method, r.hit100)
+                });
+                println!("{}", render_table4(&rows));
+            }
+            5 => {
+                let rows = tranad_bench::results::load("table2")
+                    .unwrap_or_else(|| table2(&cfg, &datasets, &methods, progress("T5")));
+                println!("{}", table5(&cfg, &rows));
+            }
+            6 => {
+                let (full, limited) = table6(&cfg, &datasets, subsets, progress("T6"));
+                println!("{}", render_table6(&full, &limited));
+            }
+            7 => {
+                let rows = table7(&cfg, &datasets, |r| {
+                    eprintln!(
+                        "[T7] {} {}: orig={:.4} ours={:.4}",
+                        r.dataset, r.metric, r.original, r.ours
+                    )
+                });
+                println!("{}", render_table7(&rows));
+            }
+            other => panic!("no table {other} in the paper"),
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! # tranad-bench
+//!
+//! The benchmark harness regenerating every table and figure of the TranAD
+//! paper's evaluation. See `DESIGN.md` for the experiment index and
+//! `EXPERIMENTS.md` for recorded paper-vs-measured numbers.
+//!
+//! Binaries:
+//! - `tables --table N [--scale S] [--dataset D]...` — Tables 1–7;
+//! - `figures --figure N [--scale S]` — Figures 2–7 (CSV series + summary).
+
+pub mod figures;
+pub mod methods;
+pub mod results;
+pub mod runner;
+pub mod tables;
+
+pub use methods::Method;
+pub use runner::{evaluate_method, HarnessConfig, RunResult};

@@ -1,0 +1,236 @@
+//! Shared experiment runner: fits a detector on a dataset, applies the
+//! paper's POT decision procedure, and computes the Table 2/3 metrics.
+
+use serde::{Deserialize, Serialize};
+use tranad::detect_aggregate;
+use tranad_baselines::{aggregate_scores, Detector, NeuralConfig};
+use tranad_data::{limited_data_subsets, Dataset, DatasetKind, GenConfig, TimeSeries};
+use tranad_evt::PotConfig;
+use tranad_metrics::{evaluate, point_adjust, Confusion};
+use tranad::TranadConfig;
+
+/// One (method, dataset) evaluation outcome.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Method name.
+    pub method: String,
+    /// Dataset name.
+    pub dataset: String,
+    /// Point-adjusted precision.
+    pub precision: f64,
+    /// Point-adjusted recall.
+    pub recall: f64,
+    /// ROC-AUC of the aggregate score.
+    pub auc: f64,
+    /// Point-adjusted F1.
+    pub f1: f64,
+    /// Mean training seconds per epoch.
+    pub secs_per_epoch: f64,
+}
+
+/// The harness-wide experiment configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct HarnessConfig {
+    /// Dataset generation (scale, seed).
+    pub gen: GenConfig,
+    /// Neural baseline hyperparameters.
+    pub neural: NeuralConfig,
+    /// TranAD hyperparameters.
+    pub tranad: TranadConfig,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        HarnessConfig {
+            gen: GenConfig { scale: 0.0015, min_len: 500, seed: 42 },
+            neural: NeuralConfig {
+                epochs: 4,
+                max_windows: 1024,
+                ..NeuralConfig::default()
+            },
+            tranad: TranadConfig {
+                epochs: 5,
+                context: 10,
+                patience: 5,
+                max_windows_per_epoch: 768,
+                ..TranadConfig::default()
+            },
+        }
+    }
+}
+
+impl HarnessConfig {
+    /// A fast smoke-test profile.
+    pub fn quick() -> Self {
+        let mut c = HarnessConfig::default();
+        c.gen = GenConfig { scale: 0.001, min_len: 300, seed: 42 };
+        c.neural.epochs = 2;
+        c.tranad.epochs = 2;
+        c
+    }
+}
+
+/// Fits `det` on the dataset's training series, scores the test series,
+/// thresholds with the paper's POT settings (falling back to a method's
+/// native labeling if it has one), point-adjusts, and summarizes.
+pub fn evaluate_method(det: &mut dyn Detector, ds: &Dataset) -> RunResult {
+    let fit = det.fit(&ds.train);
+    evaluate_fitted(det, ds, fit.seconds_per_epoch)
+}
+
+/// Evaluates an already-fitted detector.
+///
+/// Scores are exponentially smoothed before thresholding (and scoring the
+/// AUC), standard practice in the TSAD evaluation lineage: isolated
+/// single-step reconstruction misses in the calibration data otherwise
+/// dominate the tail fit, while genuine anomaly segments (tens of points)
+/// survive smoothing untouched.
+pub fn evaluate_fitted(det: &dyn Detector, ds: &Dataset, secs_per_epoch: f64) -> RunResult {
+    let truth = ds.point_labels();
+    let width = smoothing_width(ds.kind);
+    let test_scores = smooth(det.score(&ds.test), width);
+    let aggregate = aggregate_scores(&test_scores);
+    let labels = match det.native_labels(&ds.test) {
+        Some(native) => native,
+        None => detect_aggregate(
+            &smooth(det.train_scores().to_vec(), width),
+            &test_scores,
+            pot_config(ds),
+        ),
+    };
+    let m = evaluate(&aggregate, &labels, &truth);
+    RunResult {
+        method: det.name().to_string(),
+        dataset: ds.kind.name().to_string(),
+        precision: m.precision,
+        recall: m.recall,
+        auc: m.auc,
+        f1: m.f1,
+        secs_per_epoch,
+    }
+}
+
+/// Score-smoothing width per dataset: datasets whose anomalies are single
+/// points (NAB's sensor spikes) must not be smeared; segment-anomaly
+/// datasets benefit from taming isolated calibration-tail spikes.
+pub fn smoothing_width(kind: DatasetKind) -> usize {
+    match kind {
+        DatasetKind::Nab => 1,
+        _ => 3,
+    }
+}
+
+/// Smooths per-dimension score columns with a centered moving average of
+/// the given (odd) width — wide enough to tame isolated single-step
+/// reconstruction misses in the calibration tail, narrow enough not to
+/// smear anomaly segments into their neighborhoods. Width 1 is a no-op.
+pub fn smooth(scores: Vec<Vec<f64>>, width: usize) -> Vec<Vec<f64>> {
+    let half = width / 2;
+    if half == 0 || scores.len() < width || scores[0].is_empty() {
+        return scores;
+    }
+    let n = scores.len();
+    let m = scores[0].len();
+    let mut out = scores.clone();
+    for d in 0..m {
+        for t in 0..n {
+            let lo = t.saturating_sub(half);
+            let hi = (t + half).min(n - 1);
+            let sum: f64 = (lo..=hi).map(|i| scores[i][d]).sum();
+            out[t][d] = sum / (hi - lo + 1) as f64;
+        }
+    }
+    out
+}
+
+/// POT low quantile per dataset. The paper's values (§4) are tuned to the
+/// real benchmark sizes; on the scaled synthetic data we widen the tail
+/// slightly so the GPD fit has enough exceedances, keeping the paper's
+/// ordering (SMAP loosest, MSL middle, rest tight).
+pub fn pot_level(kind: DatasetKind) -> f64 {
+    (kind.pot_low_quantile() * 10.0).clamp(0.05, 0.2)
+}
+
+/// The POT configuration for a dataset: risk `q = 1e-3` (one order looser
+/// than the paper's `1e-4` to reflect the ~100× shorter scaled test sets —
+/// the expected alarm budget `q·N` stays comparable) with the paper's
+/// per-dataset low quantile.
+pub fn pot_config(ds: &Dataset) -> PotConfig {
+    // ECG-like scores (UCR, MBA) have the heaviest calibration tails and
+    // need the loosest risk, mirroring the paper's per-dataset EVT tuning.
+    let q = match ds.kind {
+        DatasetKind::Mba | DatasetKind::Ucr => 1e-2,
+        _ => 1e-3,
+    };
+    PotConfig { q, level: pot_level(ds.kind) }
+}
+
+/// Table 3: trains on five random 20 % subsets and averages F1/AUC.
+pub fn evaluate_limited(
+    make_detector: &mut dyn FnMut() -> Box<dyn Detector>,
+    ds: &Dataset,
+    fraction: f64,
+) -> RunResult {
+    let subsets = limited_data_subsets(&ds.train, fraction, ds.kind as u64 + 1);
+    let mut acc: Option<RunResult> = None;
+    let n = subsets.len() as f64;
+    for subset in &subsets {
+        let mut det = make_detector();
+        let r = run_on_subset(det.as_mut(), ds, subset);
+        acc = Some(match acc {
+            None => r,
+            Some(mut a) => {
+                a.precision += r.precision;
+                a.recall += r.recall;
+                a.auc += r.auc;
+                a.f1 += r.f1;
+                a.secs_per_epoch += r.secs_per_epoch;
+                a
+            }
+        });
+    }
+    let mut out = acc.expect("at least one subset");
+    out.precision /= n;
+    out.recall /= n;
+    out.auc /= n;
+    out.f1 /= n;
+    out.secs_per_epoch /= n;
+    out
+}
+
+/// Fits on an arbitrary training subset, evaluates on the full test set.
+pub fn run_on_subset(det: &mut dyn Detector, ds: &Dataset, train: &TimeSeries) -> RunResult {
+    let fit = det.fit(train);
+    evaluate_fitted(det, ds, fit.seconds_per_epoch)
+}
+
+/// The Confusion matrix of a labeling after point adjustment (used by
+/// tests and the MERLIN comparison table).
+pub fn adjusted_confusion(pred: &[bool], truth: &[bool]) -> Confusion {
+    Confusion::from_labels(&point_adjust(pred, truth), truth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tranad_baselines::{Merlin, MerlinConfig};
+    use tranad_data::generate;
+
+    #[test]
+    fn merlin_on_tiny_nab() {
+        let ds = generate(DatasetKind::Nab, GenConfig { scale: 0.001, min_len: 300, seed: 1 });
+        let mut det = Merlin::new(MerlinConfig::optimized(8, 16));
+        let r = evaluate_method(&mut det, &ds);
+        assert_eq!(r.method, "MERLIN");
+        assert_eq!(r.dataset, "NAB");
+        assert!(r.auc >= 0.0 && r.auc <= 1.0);
+        assert!(r.f1 >= 0.0 && r.f1 <= 1.0);
+        assert!(r.secs_per_epoch > 0.0);
+    }
+
+    #[test]
+    fn pot_levels_preserve_paper_order() {
+        assert!(pot_level(DatasetKind::Smap) > pot_level(DatasetKind::Msl));
+        assert!(pot_level(DatasetKind::Msl) > pot_level(DatasetKind::Smd));
+    }
+}

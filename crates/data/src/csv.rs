@@ -1,0 +1,229 @@
+//! Minimal CSV import/export for [`TimeSeries`] and labels, so the harness
+//! can run on the *real* benchmark datasets when the user has obtained them
+//! (SWaT/WADI are license-gated; SMD/SMAP/MSL are public downloads).
+//!
+//! Format: one row per timestamp, comma-separated numeric columns, with an
+//! optional single header row (auto-detected: a first row that fails to
+//! parse as numbers is treated as a header). Label files are a single
+//! column of `0`/`1` per timestamp, or a multi-column per-dimension grid.
+
+use crate::series::{Labels, TimeSeries};
+use std::fmt;
+use std::path::Path;
+
+/// Errors from CSV parsing.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// Structural or numeric parse failure with row context.
+    Parse { line: usize, message: String },
+    /// The file had no data rows.
+    Empty,
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "io error: {e}"),
+            CsvError::Parse { line, message } => write!(f, "line {line}: {message}"),
+            CsvError::Empty => write!(f, "no data rows"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// Parses CSV text into a time series.
+pub fn series_from_str(text: &str) -> Result<TimeSeries, CsvError> {
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    let mut width: Option<usize> = None;
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let parsed: Result<Vec<f64>, _> = line
+            .split(',')
+            .map(|cell| cell.trim().parse::<f64>())
+            .collect();
+        match parsed {
+            Ok(values) => {
+                match width {
+                    None => width = Some(values.len()),
+                    Some(w) if w != values.len() => {
+                        return Err(CsvError::Parse {
+                            line: i + 1,
+                            message: format!("expected {w} columns, found {}", values.len()),
+                        })
+                    }
+                    _ => {}
+                }
+                if values.iter().any(|v| !v.is_finite()) {
+                    return Err(CsvError::Parse {
+                        line: i + 1,
+                        message: "non-finite value".to_string(),
+                    });
+                }
+                rows.push(values);
+            }
+            Err(e) => {
+                // A non-numeric first row is a header; anywhere else it is
+                // an error.
+                if rows.is_empty() && width.is_none() {
+                    continue;
+                }
+                return Err(CsvError::Parse { line: i + 1, message: e.to_string() });
+            }
+        }
+    }
+    let dims = width.ok_or(CsvError::Empty)?;
+    if rows.is_empty() {
+        return Err(CsvError::Empty);
+    }
+    let len = rows.len();
+    Ok(TimeSeries::from_rows(
+        rows.into_iter().flatten().collect(),
+        len,
+        dims,
+    ))
+}
+
+/// Loads a time series from a CSV file.
+pub fn series_from_csv(path: impl AsRef<Path>) -> Result<TimeSeries, CsvError> {
+    series_from_str(&std::fs::read_to_string(path)?)
+}
+
+/// Writes a time series as CSV (no header).
+pub fn series_to_csv(series: &TimeSeries, path: impl AsRef<Path>) -> std::io::Result<()> {
+    let mut out = String::with_capacity(series.len() * series.dims() * 12);
+    for t in 0..series.len() {
+        let row: Vec<String> = series.row(t).iter().map(|v| format!("{v}")).collect();
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    std::fs::write(path, out)
+}
+
+/// Parses label CSV text (single point-label column, or one column per
+/// dimension) into [`Labels`]. Values must be 0 or 1.
+pub fn labels_from_str(text: &str, dims: usize) -> Result<Labels, CsvError> {
+    let series = series_from_str(text)?;
+    if series.dims() != 1 && series.dims() != dims {
+        return Err(CsvError::Parse {
+            line: 1,
+            message: format!(
+                "label file has {} columns; expected 1 or {dims}",
+                series.dims()
+            ),
+        });
+    }
+    let mut labels = Labels::normal(series.len(), dims);
+    for t in 0..series.len() {
+        for (c, &v) in series.row(t).iter().enumerate() {
+            if v != 0.0 && v != 1.0 {
+                return Err(CsvError::Parse {
+                    line: t + 1,
+                    message: format!("label value {v} is not 0/1"),
+                });
+            }
+            if v == 1.0 {
+                if series.dims() == 1 {
+                    // Point label: mark every dimension.
+                    for d in 0..dims {
+                        labels.mark(t, t + 1, d);
+                    }
+                } else {
+                    labels.mark(t, t + 1, c);
+                }
+            }
+        }
+    }
+    Ok(labels)
+}
+
+/// Loads labels from a CSV file.
+pub fn labels_from_csv(path: impl AsRef<Path>, dims: usize) -> Result<Labels, CsvError> {
+    labels_from_str(&std::fs::read_to_string(path)?, dims)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_plain_numeric_csv() {
+        let ts = series_from_str("1.0,2.0\n3.0,4.0\n5.5,6.5\n").unwrap();
+        assert_eq!(ts.len(), 3);
+        assert_eq!(ts.dims(), 2);
+        assert_eq!(ts.row(2), &[5.5, 6.5]);
+    }
+
+    #[test]
+    fn skips_header_row() {
+        let ts = series_from_str("cpu,mem\n0.5,0.25\n0.6,0.30\n").unwrap();
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts.get(0, 1), 0.25);
+    }
+
+    #[test]
+    fn rejects_ragged_rows() {
+        let err = series_from_str("1,2\n3\n").unwrap_err();
+        assert!(matches!(err, CsvError::Parse { line: 2, .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_mid_file_text() {
+        let err = series_from_str("1,2\nfoo,bar\n").unwrap_err();
+        assert!(matches!(err, CsvError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert!(matches!(series_from_str("\n\n"), Err(CsvError::Empty)));
+        assert!(matches!(series_from_str("h1,h2\n"), Err(CsvError::Empty)));
+    }
+
+    #[test]
+    fn roundtrip_through_file() {
+        let ts = series_from_str("1,2\n3,4\n").unwrap();
+        let dir = std::env::temp_dir().join("tranad_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("series.csv");
+        series_to_csv(&ts, &path).unwrap();
+        let back = series_from_csv(&path).unwrap();
+        assert_eq!(back, ts);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn point_labels_expand_to_all_dims() {
+        let labels = labels_from_str("0\n1\n0\n", 3).unwrap();
+        assert!(!labels.point(0));
+        assert!(labels.point(1));
+        assert!(labels.at(1, 2));
+    }
+
+    #[test]
+    fn per_dim_labels_parse() {
+        let labels = labels_from_str("0,1\n0,0\n", 2).unwrap();
+        assert!(labels.at(0, 1));
+        assert!(!labels.at(0, 0));
+    }
+
+    #[test]
+    fn rejects_non_binary_labels() {
+        assert!(labels_from_str("0\n2\n", 1).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_label_width() {
+        assert!(labels_from_str("0,1\n", 3).is_err());
+    }
+}

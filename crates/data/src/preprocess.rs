@@ -1,0 +1,246 @@
+//! Data preprocessing (paper §3.2): min-max normalization fitted on the
+//! training series, and sliding windows with replication padding.
+
+use crate::series::TimeSeries;
+use tranad_tensor::Tensor;
+
+/// Min-max normalizer fitted per dimension on the training series
+/// (Eq. 1: `x ← (x - min) / (max - min + ε)`).
+#[derive(Debug, Clone)]
+pub struct Normalizer {
+    mins: Vec<f64>,
+    ranges: Vec<f64>, // max - min + eps
+}
+
+/// Small constant preventing zero division in Eq. 1.
+const EPS: f64 = 1e-4;
+
+impl Normalizer {
+    /// Fits the per-dimension ranges on `train`.
+    pub fn fit(train: &TimeSeries) -> Normalizer {
+        let mins = train.min_per_dim();
+        let maxs = train.max_per_dim();
+        let ranges = mins
+            .iter()
+            .zip(&maxs)
+            .map(|(&lo, &hi)| hi - lo + EPS)
+            .collect();
+        Normalizer { mins, ranges }
+    }
+
+    /// Applies the fitted transform. Values outside the training range are
+    /// clamped to `[-0.5, 1.5]` to keep extreme test anomalies finite while
+    /// still letting them stand out from the nominal `[0, 1)` band.
+    pub fn transform(&self, series: &TimeSeries) -> TimeSeries {
+        assert_eq!(series.dims(), self.mins.len(), "dimension mismatch");
+        let mut out = series.clone();
+        for t in 0..out.len() {
+            let row = out.row_mut(t);
+            for ((v, &lo), &range) in row.iter_mut().zip(&self.mins).zip(&self.ranges) {
+                *v = ((*v - lo) / range).clamp(-0.5, 1.5);
+            }
+        }
+        out
+    }
+
+    /// Fits on `train` and transforms both series.
+    pub fn fit_transform(train: &TimeSeries, test: &TimeSeries) -> (TimeSeries, TimeSeries) {
+        let norm = Normalizer::fit(train);
+        (norm.transform(train), norm.transform(test))
+    }
+
+    /// Exports the fitted state `(mins, ranges)` for persistence.
+    pub fn to_parts(&self) -> (Vec<f64>, Vec<f64>) {
+        (self.mins.clone(), self.ranges.clone())
+    }
+
+    /// Rebuilds a normalizer from persisted state.
+    pub fn from_parts(mins: Vec<f64>, ranges: Vec<f64>) -> Normalizer {
+        assert_eq!(mins.len(), ranges.len(), "mins/ranges length mismatch");
+        assert!(ranges.iter().all(|&r| r > 0.0), "ranges must be positive");
+        Normalizer { mins, ranges }
+    }
+}
+
+/// Sliding windows over a series with replication padding for `t < K`
+/// (paper §3.2). Window `t` covers timestamps `t-K+1 ..= t`; positions
+/// before the start of the series are filled with the first datapoint, as
+/// in the reference implementation.
+#[derive(Debug, Clone)]
+pub struct Windows {
+    series: TimeSeries,
+    k: usize,
+}
+
+impl Windows {
+    /// Creates windows of length `k` over `series`.
+    pub fn new(series: TimeSeries, k: usize) -> Windows {
+        assert!(k >= 1, "window length must be positive");
+        assert!(!series.is_empty(), "cannot window an empty series");
+        Windows { series, k }
+    }
+
+    /// Number of windows (= series length).
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// True if there are no windows.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// Window length `K`.
+    pub fn window_len(&self) -> usize {
+        self.k
+    }
+
+    /// Number of modes.
+    pub fn dims(&self) -> usize {
+        self.series.dims()
+    }
+
+    /// The underlying series.
+    pub fn series(&self) -> &TimeSeries {
+        &self.series
+    }
+
+    /// Window at timestamp `t` as a `[k, dims]` tensor.
+    pub fn window(&self, t: usize) -> Tensor {
+        let m = self.series.dims();
+        let mut data = Vec::with_capacity(self.k * m);
+        for offset in 0..self.k {
+            let pos = (t + offset + 1).checked_sub(self.k);
+            match pos {
+                Some(p) => data.extend_from_slice(self.series.row(p)),
+                None => data.extend_from_slice(self.series.row(0)),
+            }
+        }
+        Tensor::from_vec(data, [self.k, m])
+    }
+
+    /// A batch of windows `[batch, k, dims]` for the given timestamps.
+    pub fn batch(&self, ts: &[usize]) -> Tensor {
+        let m = self.series.dims();
+        let mut data = Vec::with_capacity(ts.len() * self.k * m);
+        for &t in ts {
+            data.extend_from_slice(self.window(t).data());
+        }
+        Tensor::from_vec(data, [ts.len(), self.k, m])
+    }
+
+    /// The context slice `C_t`: the last `max_context` timestamps up to and
+    /// including `t`, replication-padded at the start like windows. Shape
+    /// `[max_context, dims]`.
+    pub fn context(&self, t: usize, max_context: usize) -> Tensor {
+        let m = self.series.dims();
+        let mut data = Vec::with_capacity(max_context * m);
+        for offset in 0..max_context {
+            let pos = (t + offset + 1).checked_sub(max_context);
+            match pos {
+                Some(p) => data.extend_from_slice(self.series.row(p)),
+                None => data.extend_from_slice(self.series.row(0)),
+            }
+        }
+        Tensor::from_vec(data, [max_context, m])
+    }
+
+    /// A batch of contexts `[batch, max_context, dims]`.
+    pub fn context_batch(&self, ts: &[usize], max_context: usize) -> Tensor {
+        let m = self.series.dims();
+        let mut data = Vec::with_capacity(ts.len() * max_context * m);
+        for &t in ts {
+            data.extend_from_slice(self.context(t, max_context).data());
+        }
+        Tensor::from_vec(data, [ts.len(), max_context, m])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series_1d(values: &[f64]) -> TimeSeries {
+        TimeSeries::from_columns(&[values.to_vec()])
+    }
+
+    #[test]
+    fn normalizer_maps_train_to_unit_interval() {
+        let train = series_1d(&[2.0, 4.0, 6.0]);
+        let norm = Normalizer::fit(&train);
+        let out = norm.transform(&train);
+        assert!(out.data().iter().all(|&v| (0.0..1.0).contains(&v)));
+        assert!((out.get(0, 0) - 0.0).abs() < 1e-9);
+        assert!(out.get(2, 0) < 1.0 && out.get(2, 0) > 0.99);
+    }
+
+    #[test]
+    fn normalizer_clamps_extreme_test_values() {
+        let train = series_1d(&[0.0, 1.0]);
+        let norm = Normalizer::fit(&train);
+        let test = series_1d(&[1000.0, -1000.0]);
+        let out = norm.transform(&test);
+        assert_eq!(out.get(0, 0), 1.5);
+        assert_eq!(out.get(1, 0), -0.5);
+    }
+
+    #[test]
+    fn normalizer_constant_dimension() {
+        let train = series_1d(&[3.0, 3.0, 3.0]);
+        let norm = Normalizer::fit(&train);
+        let out = norm.transform(&train);
+        assert!(out.data().iter().all(|v| v.is_finite()));
+        assert!(out.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn window_full_history() {
+        let ws = Windows::new(series_1d(&[1.0, 2.0, 3.0, 4.0]), 3);
+        let w = ws.window(3);
+        assert_eq!(w.data(), &[2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn window_replication_padding() {
+        let ws = Windows::new(series_1d(&[10.0, 20.0, 30.0]), 3);
+        // t=0: two pad copies of x_0 + x_0
+        assert_eq!(ws.window(0).data(), &[10.0, 10.0, 10.0]);
+        // t=1: one pad copy + x_0, x_1
+        assert_eq!(ws.window(1).data(), &[10.0, 10.0, 20.0]);
+    }
+
+    #[test]
+    fn window_multivariate_shape() {
+        let ts = TimeSeries::from_columns(&[vec![1.0, 2.0], vec![5.0, 6.0]]);
+        let ws = Windows::new(ts, 2);
+        let w = ws.window(1);
+        assert_eq!(w.shape().dims(), &[2, 2]);
+        assert_eq!(w.data(), &[1.0, 5.0, 2.0, 6.0]);
+    }
+
+    #[test]
+    fn batch_stacks_windows() {
+        let ws = Windows::new(series_1d(&[1.0, 2.0, 3.0, 4.0]), 2);
+        let b = ws.batch(&[1, 3]);
+        assert_eq!(b.shape().dims(), &[2, 2, 1]);
+        assert_eq!(b.data(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn context_longer_than_window() {
+        let ws = Windows::new(series_1d(&[1.0, 2.0, 3.0, 4.0, 5.0]), 2);
+        let c = ws.context(4, 4);
+        assert_eq!(c.data(), &[2.0, 3.0, 4.0, 5.0]);
+        let c0 = ws.context(0, 4);
+        assert_eq!(c0.data(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn windows_cover_every_timestamp() {
+        let ws = Windows::new(series_1d(&[1.0; 17]), 5);
+        assert_eq!(ws.len(), 17);
+        for t in 0..17 {
+            assert_eq!(ws.window(t).shape().dims(), &[5, 1]);
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Training-data splits: the 80/20 train/validation split (paper §4) and
+//! the random 20–100 % training subsets of Table 3 / Figure 6.
+
+use crate::series::TimeSeries;
+use crate::signal::SignalRng;
+
+/// Splits a training series into (train, validation) with the given train
+/// fraction, preserving temporal order (paper §4 uses 80/20).
+pub fn train_val_split(series: &TimeSeries, train_frac: f64) -> (TimeSeries, TimeSeries) {
+    assert!(
+        train_frac > 0.0 && train_frac < 1.0,
+        "train fraction must be in (0,1)"
+    );
+    let cut = ((series.len() as f64 * train_frac).round() as usize)
+        .clamp(1, series.len().saturating_sub(1));
+    (series.slice(0, cut), series.slice(cut, series.len()))
+}
+
+/// A random contiguous subsequence covering `frac` of the series (§5.3:
+/// models are "given the same randomly sampled subsequence of 20% to 100%
+/// size as that of the training data").
+pub fn random_subsequence(series: &TimeSeries, frac: f64, seed: u64) -> TimeSeries {
+    assert!(frac > 0.0 && frac <= 1.0, "fraction must be in (0,1]");
+    let take = ((series.len() as f64 * frac).round() as usize).max(2);
+    if take >= series.len() {
+        return series.clone();
+    }
+    let mut rng = SignalRng::new(seed);
+    let start = rng.index(0, series.len() - take);
+    series.slice(start, start + take)
+}
+
+/// The five seeded 20 % subsets used for the averaged F1*/AUC* numbers
+/// (paper §4.2.1: "We train on the five sets of 20% training data and
+/// report average results").
+pub fn limited_data_subsets(series: &TimeSeries, frac: f64, seed: u64) -> Vec<TimeSeries> {
+    (0..5)
+        .map(|i| random_subsequence(series, frac, seed.wrapping_add(i * 7919)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(len: usize) -> TimeSeries {
+        TimeSeries::from_columns(&[(0..len).map(|t| t as f64).collect()])
+    }
+
+    #[test]
+    fn split_80_20() {
+        let s = series(100);
+        let (train, val) = train_val_split(&s, 0.8);
+        assert_eq!(train.len(), 80);
+        assert_eq!(val.len(), 20);
+        // order preserved: validation is the tail
+        assert_eq!(val.get(0, 0), 80.0);
+    }
+
+    #[test]
+    fn split_tiny_series() {
+        let s = series(2);
+        let (train, val) = train_val_split(&s, 0.8);
+        assert_eq!(train.len() + val.len(), 2);
+        assert!(!train.is_empty() && !val.is_empty());
+    }
+
+    #[test]
+    fn subsequence_is_contiguous_and_sized() {
+        let s = series(1000);
+        let sub = random_subsequence(&s, 0.2, 1);
+        assert_eq!(sub.len(), 200);
+        for t in 1..sub.len() {
+            assert_eq!(sub.get(t, 0) - sub.get(t - 1, 0), 1.0);
+        }
+    }
+
+    #[test]
+    fn subsequence_full_fraction_is_identity() {
+        let s = series(50);
+        assert_eq!(random_subsequence(&s, 1.0, 9), s);
+    }
+
+    #[test]
+    fn five_subsets_differ() {
+        let s = series(10_000);
+        let subs = limited_data_subsets(&s, 0.2, 3);
+        assert_eq!(subs.len(), 5);
+        let starts: Vec<i64> = subs.iter().map(|x| x.get(0, 0) as i64).collect();
+        let distinct = starts
+            .iter()
+            .collect::<std::collections::BTreeSet<_>>()
+            .len();
+        assert!(distinct >= 4, "starts {starts:?}");
+    }
+}

@@ -1,0 +1,107 @@
+//! Annual Maximum (block maxima) thresholding — the alternative EVT method
+//! the paper compares against POT (§3.5: "we have observed 7.2% higher F1
+//! scores on an average for TranAD with POT than AM").
+//!
+//! Block maxima are fitted with a Gumbel distribution via the method of
+//! moments; the threshold is the return level at risk `q`.
+
+/// Annual-Maximum configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct AmConfig {
+    /// Number of observations per block.
+    pub block_size: usize,
+    /// Risk: probability that a block maximum exceeds the threshold.
+    pub q: f64,
+}
+
+impl Default for AmConfig {
+    fn default() -> Self {
+        AmConfig { block_size: 100, q: 1e-2 }
+    }
+}
+
+/// Fitted annual-maximum thresholder.
+#[derive(Debug, Clone, Copy)]
+pub struct AnnualMaximum {
+    /// Gumbel location parameter.
+    pub mu: f64,
+    /// Gumbel scale parameter.
+    pub beta: f64,
+    /// Final anomaly threshold (return level at the configured risk).
+    pub threshold: f64,
+}
+
+impl AnnualMaximum {
+    /// Fits block maxima of the calibration scores.
+    pub fn fit(scores: &[f64], config: AmConfig) -> AnnualMaximum {
+        assert!(config.block_size > 0, "block size must be positive");
+        assert!(!scores.is_empty(), "AM needs calibration scores");
+        let maxima: Vec<f64> = scores
+            .chunks(config.block_size)
+            .map(|b| b.iter().cloned().fold(f64::NEG_INFINITY, f64::max))
+            .collect();
+        let n = maxima.len() as f64;
+        let mean = maxima.iter().sum::<f64>() / n;
+        let var = maxima.iter().map(|&m| (m - mean) * (m - mean)).sum::<f64>() / n;
+        // Gumbel moments: mean = mu + gamma_e * beta, var = pi^2/6 * beta^2.
+        const EULER_GAMMA: f64 = 0.577_215_664_901_532_9;
+        let beta = (6.0 * var).sqrt() / std::f64::consts::PI;
+        let mu = mean - EULER_GAMMA * beta;
+        // Return level: P(max > z) = q  =>  z = mu - beta ln(-ln(1 - q)).
+        let threshold = if beta > 0.0 {
+            mu - beta * (-(1.0 - config.q).ln()).ln()
+        } else {
+            // Degenerate (constant) maxima: never flag calibration data.
+            mean + mean.abs() * 0.01 + 1e-12
+        };
+        AnnualMaximum { mu, beta, threshold }
+    }
+
+    /// Labels each score against the fitted threshold.
+    pub fn label(&self, scores: &[f64]) -> Vec<bool> {
+        scores.iter().map(|&s| s >= self.threshold).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn uniform_scores(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen_range(0.0..1.0)).collect()
+    }
+
+    #[test]
+    fn threshold_above_typical_values() {
+        let scores = uniform_scores(20_000, 1);
+        let am = AnnualMaximum::fit(&scores, AmConfig { block_size: 100, q: 1e-3 });
+        assert!(am.threshold > 0.99, "threshold {}", am.threshold);
+    }
+
+    #[test]
+    fn detects_outliers() {
+        let scores = uniform_scores(10_000, 2);
+        let am = AnnualMaximum::fit(&scores, AmConfig::default());
+        let labels = am.label(&[0.5, 5.0]);
+        assert!(!labels[0]);
+        assert!(labels[1]);
+    }
+
+    #[test]
+    fn risk_monotonicity() {
+        let scores = uniform_scores(20_000, 3);
+        let strict = AnnualMaximum::fit(&scores, AmConfig { block_size: 100, q: 1e-4 });
+        let loose = AnnualMaximum::fit(&scores, AmConfig { block_size: 100, q: 0.2 });
+        assert!(strict.threshold > loose.threshold);
+    }
+
+    #[test]
+    fn constant_scores_degenerate() {
+        let scores = vec![2.0; 1000];
+        let am = AnnualMaximum::fit(&scores, AmConfig::default());
+        assert!(am.label(&scores).iter().all(|&b| !b));
+    }
+}

@@ -1,0 +1,29 @@
+//! # tranad-evt
+//!
+//! Extreme-value-theory thresholding for anomaly scores, as used across the
+//! TranAD reproduction:
+//!
+//! - [`pot`]: Peaks-Over-Threshold with Grimshaw GPD fitting — the paper's
+//!   primary thresholding method (risk `q = 1e-4`, per-dataset low
+//!   quantiles).
+//! - [`am`]: the Annual Maximum (block maxima / Gumbel) alternative the
+//!   paper reports as ~7% worse.
+//! - [`spot`]: the streaming SPOT variant (init on train scores, adapt on
+//!   non-alarm test scores) used by the detection pipeline.
+//! - [`dspot`]: the drift-aware DSPOT variant (moving-average detrending).
+//! - [`ndt`]: Non-parametric Dynamic Thresholding for the LSTM-NDT baseline.
+//! - [`gpd`]: the underlying Generalized Pareto fitting machinery.
+
+pub mod am;
+pub mod dspot;
+pub mod gpd;
+pub mod ndt;
+pub mod pot;
+pub mod spot;
+
+pub use am::{AmConfig, AnnualMaximum};
+pub use gpd::{fit_gpd, GpdFit};
+pub use ndt::{Ndt, NdtConfig};
+pub use pot::{pot_labels, quantile, Pot, PotConfig};
+pub use dspot::Dspot;
+pub use spot::Spot;

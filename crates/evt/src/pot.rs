@@ -1,0 +1,192 @@
+//! Peaks-Over-Threshold (POT) dynamic thresholding (Siffer et al., 2017),
+//! as used by OmniAnomaly, USAD and TranAD to turn anomaly scores into
+//! binary labels without ground-truth calibration.
+
+use crate::gpd::{fit_gpd, pot_quantile};
+
+/// POT configuration.
+///
+/// The paper (§4) uses risk coefficient `q = 1e-4` for all datasets and a
+/// per-dataset "low quantile" (0.07 for SMAP, 0.01 for MSL, 0.001 for the
+/// rest) that controls the initial threshold level.
+#[derive(Debug, Clone, Copy)]
+pub struct PotConfig {
+    /// Risk coefficient: target probability of observing a score above the
+    /// final threshold.
+    pub q: f64,
+    /// Fraction of calibration scores allowed to exceed the *initial*
+    /// threshold (the "low quantile" of the paper).
+    pub level: f64,
+}
+
+impl Default for PotConfig {
+    fn default() -> Self {
+        PotConfig { q: 1e-4, level: 0.001 }
+    }
+}
+
+impl PotConfig {
+    /// Creates a config with the paper's fixed risk and a dataset-specific
+    /// low quantile.
+    pub fn with_low_quantile(level: f64) -> Self {
+        PotConfig { q: 1e-4, level }
+    }
+}
+
+/// A fitted POT thresholder.
+#[derive(Debug, Clone, Copy)]
+pub struct Pot {
+    /// Initial (peak-selection) threshold `t`.
+    pub initial_threshold: f64,
+    /// Final anomaly threshold `z_q`.
+    pub threshold: f64,
+    /// Number of exceedances used for the GPD fit.
+    pub n_peaks: usize,
+}
+
+impl Pot {
+    /// Fits POT on calibration scores (typically scores on the training or
+    /// combined train+test sequence, as in the OmniAnomaly evaluation code).
+    ///
+    /// Returns a conservative max-based threshold if there are too few
+    /// peaks to fit a tail distribution.
+    pub fn fit(scores: &[f64], config: PotConfig) -> Pot {
+        assert!(!scores.is_empty(), "POT needs calibration scores");
+        assert!(config.q > 0.0 && config.q < 1.0, "risk q must be in (0,1)");
+        assert!(
+            config.level > 0.0 && config.level < 1.0,
+            "level must be in (0,1)"
+        );
+        let t = quantile(scores, 1.0 - config.level);
+        let peaks: Vec<f64> = scores
+            .iter()
+            .filter(|&&s| s > t)
+            .map(|&s| s - t)
+            .collect();
+        if peaks.len() < 4 {
+            // Not enough tail mass for a GPD fit; fall back to the max with
+            // a small safety margin.
+            let max = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let spread = (max - t).abs().max(max.abs() * 0.01).max(1e-12);
+            return Pot {
+                initial_threshold: t,
+                threshold: max + 0.01 * spread,
+                n_peaks: peaks.len(),
+            };
+        }
+        let fit = fit_gpd(&peaks);
+        let z = pot_quantile(&fit, t, config.q, scores.len(), peaks.len());
+        // The final threshold can never be below the initial threshold for
+        // q below the exceedance rate; clamp for numeric safety.
+        Pot {
+            initial_threshold: t,
+            threshold: z.max(t),
+            n_peaks: peaks.len(),
+        }
+    }
+
+    /// Labels each score: `true` where `score >= threshold`.
+    pub fn label(&self, scores: &[f64]) -> Vec<bool> {
+        scores.iter().map(|&s| s >= self.threshold).collect()
+    }
+}
+
+/// Convenience: fit POT on `calibration` and label `scores`.
+pub fn pot_labels(calibration: &[f64], scores: &[f64], config: PotConfig) -> Vec<bool> {
+    Pot::fit(calibration, config).label(scores)
+}
+
+/// Empirical quantile (linear interpolation, like NumPy's default).
+pub fn quantile(values: &[f64], q: f64) -> f64 {
+    assert!(!values.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "quantile level out of range");
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in scores"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn gaussian_scores(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let u1: f64 = rng.gen_range(1e-12..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn quantile_basics() {
+        let v = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(quantile(&v, 0.0), 1.0);
+        assert_eq!(quantile(&v, 1.0), 5.0);
+        assert_eq!(quantile(&v, 0.5), 3.0);
+        assert_eq!(quantile(&v, 0.25), 2.0);
+    }
+
+    #[test]
+    fn threshold_above_initial() {
+        let scores = gaussian_scores(50_000, 1);
+        let pot = Pot::fit(&scores, PotConfig { q: 1e-4, level: 0.02 });
+        assert!(pot.threshold >= pot.initial_threshold);
+        assert!(pot.n_peaks > 500);
+    }
+
+    #[test]
+    fn few_false_positives_on_normal_data() {
+        let scores = gaussian_scores(50_000, 2);
+        let pot = Pot::fit(&scores, PotConfig { q: 1e-4, level: 0.02 });
+        let fresh = gaussian_scores(50_000, 3);
+        let fp = pot.label(&fresh).iter().filter(|&&b| b).count();
+        // Expected ~q * n = 5; allow generous slack.
+        assert!(fp < 60, "false positives {fp}");
+    }
+
+    #[test]
+    fn detects_injected_extremes() {
+        let mut scores = gaussian_scores(10_000, 4);
+        let pot = Pot::fit(&scores, PotConfig { q: 1e-3, level: 0.02 });
+        scores.extend([50.0, 60.0]);
+        let labels = pot.label(&scores);
+        assert!(labels[10_000] && labels[10_001]);
+    }
+
+    #[test]
+    fn threshold_monotone_in_risk() {
+        let scores = gaussian_scores(50_000, 5);
+        let strict = Pot::fit(&scores, PotConfig { q: 1e-5, level: 0.02 }).threshold;
+        let loose = Pot::fit(&scores, PotConfig { q: 1e-2, level: 0.02 }).threshold;
+        assert!(strict > loose, "{strict} vs {loose}");
+    }
+
+    #[test]
+    fn constant_scores_fallback() {
+        let scores = vec![1.0; 100];
+        let pot = Pot::fit(&scores, PotConfig::default());
+        // Nothing in the calibration data should be labeled anomalous.
+        assert!(pot.label(&scores).iter().all(|&b| !b));
+    }
+
+    #[test]
+    fn tiny_sample_fallback() {
+        let scores = vec![0.1, 0.2, 0.15, 0.12, 0.3];
+        let pot = Pot::fit(&scores, PotConfig { q: 1e-4, level: 0.2 });
+        assert!(pot.threshold > 0.3);
+        assert!(pot.label(&[10.0])[0]);
+    }
+}

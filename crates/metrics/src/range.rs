@@ -1,0 +1,182 @@
+//! Range-based precision and recall (Tatbul et al., NeurIPS 2018) — an
+//! alternative to the point-adjust protocol that scores *segment* overlap
+//! instead of expanding hits. Included because the TSAD evaluation debate
+//! the paper cites ([55]) recommends reporting more than one protocol.
+//!
+//! Implemented with the flat positional bias and the standard
+//! `alpha`-weighted combination of existence and overlap rewards.
+
+/// A contiguous `[start, end)` range of timestamps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Range {
+    /// Inclusive start.
+    pub start: usize,
+    /// Exclusive end.
+    pub end: usize,
+}
+
+impl Range {
+    fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    fn overlap(&self, other: &Range) -> usize {
+        let lo = self.start.max(other.start);
+        let hi = self.end.min(other.end);
+        hi.saturating_sub(lo)
+    }
+}
+
+/// Extracts maximal true runs from a boolean label vector.
+pub fn ranges_of(labels: &[bool]) -> Vec<Range> {
+    let mut out = Vec::new();
+    let mut start = None;
+    for (t, &b) in labels.iter().enumerate() {
+        match (b, start) {
+            (true, None) => start = Some(t),
+            (false, Some(s)) => {
+                out.push(Range { start: s, end: t });
+                start = None;
+            }
+            _ => {}
+        }
+    }
+    if let Some(s) = start {
+        out.push(Range { start: s, end: labels.len() });
+    }
+    out
+}
+
+/// Range-based recall/precision configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct RangeConfig {
+    /// Weight of the existence reward in recall (`alpha` in the paper;
+    /// 0 = pure overlap, 1 = pure existence).
+    pub alpha: f64,
+}
+
+impl Default for RangeConfig {
+    fn default() -> Self {
+        RangeConfig { alpha: 0.5 }
+    }
+}
+
+/// Score of one real range against all predicted ranges:
+/// `alpha * existence + (1 - alpha) * overlap_fraction`.
+fn recall_of_range(real: &Range, predicted: &[Range], alpha: f64) -> f64 {
+    let overlap: usize = predicted.iter().map(|p| real.overlap(p)).sum();
+    let existence = if overlap > 0 { 1.0 } else { 0.0 };
+    let overlap_frac = overlap as f64 / real.len().max(1) as f64;
+    alpha * existence + (1.0 - alpha) * overlap_frac
+}
+
+/// Range-based recall: mean per-real-range score.
+pub fn range_recall(pred: &[bool], truth: &[bool], config: RangeConfig) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "label length mismatch");
+    let real = ranges_of(truth);
+    if real.is_empty() {
+        return 1.0;
+    }
+    let predicted = ranges_of(pred);
+    real.iter()
+        .map(|r| recall_of_range(r, &predicted, config.alpha))
+        .sum::<f64>()
+        / real.len() as f64
+}
+
+/// Range-based precision: mean per-predicted-range overlap fraction
+/// (existence reward is conventionally omitted for precision).
+pub fn range_precision(pred: &[bool], truth: &[bool]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "label length mismatch");
+    let predicted = ranges_of(pred);
+    if predicted.is_empty() {
+        return if ranges_of(truth).is_empty() { 1.0 } else { 0.0 };
+    }
+    let real = ranges_of(truth);
+    predicted
+        .iter()
+        .map(|p| {
+            let overlap: usize = real.iter().map(|r| p.overlap(r)).sum();
+            overlap as f64 / p.len().max(1) as f64
+        })
+        .sum::<f64>()
+        / predicted.len() as f64
+}
+
+/// Range-based F1 from range precision and recall.
+pub fn range_f1(pred: &[bool], truth: &[bool], config: RangeConfig) -> f64 {
+    let p = range_precision(pred, truth);
+    let r = range_recall(pred, truth, config);
+    if p + r == 0.0 {
+        0.0
+    } else {
+        2.0 * p * r / (p + r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_extracted_correctly() {
+        let labels = [false, true, true, false, true];
+        let r = ranges_of(&labels);
+        assert_eq!(r, vec![Range { start: 1, end: 3 }, Range { start: 4, end: 5 }]);
+    }
+
+    #[test]
+    fn ranges_of_all_true() {
+        assert_eq!(ranges_of(&[true, true]), vec![Range { start: 0, end: 2 }]);
+        assert!(ranges_of(&[false, false]).is_empty());
+    }
+
+    #[test]
+    fn perfect_prediction_scores_one() {
+        let truth = [false, true, true, false];
+        assert_eq!(range_recall(&truth, &truth, RangeConfig::default()), 1.0);
+        assert_eq!(range_precision(&truth, &truth), 1.0);
+        assert_eq!(range_f1(&truth, &truth, RangeConfig::default()), 1.0);
+    }
+
+    #[test]
+    fn partial_overlap_scores_between() {
+        let truth = [true, true, true, true, false, false];
+        let pred = [true, true, false, false, false, false];
+        let r = range_recall(&pred, &truth, RangeConfig { alpha: 0.5 });
+        // existence 1, overlap 0.5 -> 0.5*1 + 0.5*0.5 = 0.75
+        assert!((r - 0.75).abs() < 1e-12);
+        assert_eq!(range_precision(&pred, &truth), 1.0);
+    }
+
+    #[test]
+    fn false_positive_range_hurts_precision() {
+        let truth = [true, true, false, false];
+        let pred = [true, true, false, true];
+        let p = range_precision(&pred, &truth);
+        assert!((p - 0.5).abs() < 1e-12, "p {p}");
+    }
+
+    #[test]
+    fn pure_existence_alpha_one() {
+        let truth = [true, true, true, true];
+        let pred = [true, false, false, false];
+        assert_eq!(range_recall(&pred, &truth, RangeConfig { alpha: 1.0 }), 1.0);
+        let quarter = range_recall(&pred, &truth, RangeConfig { alpha: 0.0 });
+        assert!((quarter - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_cases() {
+        assert_eq!(range_recall(&[false; 3], &[false; 3], RangeConfig::default()), 1.0);
+        assert_eq!(range_precision(&[false; 3], &[false; 3]), 1.0);
+        assert_eq!(range_precision(&[false; 3], &[true; 3]), 0.0);
+    }
+
+    #[test]
+    fn range_f1_degenerate_zero() {
+        let truth = [true, false];
+        let pred = [false, true];
+        assert_eq!(range_f1(&pred, &truth, RangeConfig::default()), 0.0);
+    }
+}

@@ -1,0 +1,39 @@
+//! # tranad-tensor
+//!
+//! A minimal, dependency-free dense tensor library with tape-based
+//! reverse-mode automatic differentiation, written as the deep-learning
+//! substrate for the TranAD reproduction.
+//!
+//! The design mirrors what the TranAD paper needs and nothing more:
+//!
+//! - [`Tensor`]: dense row-major `f64` storage of arbitrary rank with
+//!   NumPy-style broadcasting, 2-d/batched matmul, softmax, layer-norm
+//!   building blocks, concatenation and narrowing along the feature axis.
+//! - [`Tape`] / [`Var`]: eager operator recording and reverse-mode
+//!   differentiation. A fresh tape per training step; model parameters live
+//!   outside and are re-introduced as leaves.
+//! - [`check`]: finite-difference gradient checking used across the
+//!   workspace's tests.
+//!
+//! ## Example
+//!
+//! ```
+//! use tranad_tensor::{Tape, Tensor};
+//!
+//! let tape = Tape::new();
+//! let w = tape.leaf(Tensor::from_vec(vec![0.5, -0.5], [1, 2]));
+//! let x = tape.leaf(Tensor::from_vec(vec![2.0], [1, 1]));
+//! let y = x.matmul(&w).sigmoid();
+//! let loss = y.square().mean_all();
+//! loss.backward();
+//! assert_eq!(w.grad().shape().dims(), &[1, 2]);
+//! ```
+
+pub mod check;
+pub mod shape;
+pub mod tape;
+pub mod tensor;
+
+pub use shape::Shape;
+pub use tape::{Tape, Var};
+pub use tensor::Tensor;

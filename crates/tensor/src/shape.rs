@@ -1,0 +1,212 @@
+//! Shape and stride arithmetic for dense row-major tensors.
+
+use std::fmt;
+
+/// The shape of a tensor: a list of dimension extents, outermost first.
+///
+/// Rank-0 (scalar) tensors are represented by an empty dimension list and
+/// hold exactly one element.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from dimension extents.
+    pub fn new(dims: impl Into<Vec<usize>>) -> Self {
+        Shape(dims.into())
+    }
+
+    /// The scalar (rank-0) shape.
+    pub fn scalar() -> Self {
+        Shape(Vec::new())
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Dimension extents, outermost first.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Extent of dimension `i` (panics if out of range).
+    pub fn dim(&self, i: usize) -> usize {
+        self.0[i]
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Extent of the last dimension; 1 for scalars.
+    pub fn last_dim(&self) -> usize {
+        self.0.last().copied().unwrap_or(1)
+    }
+
+    /// Row-major strides (in elements) for this shape.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![0; self.0.len()];
+        let mut acc = 1;
+        for i in (0..self.0.len()).rev() {
+            strides[i] = acc;
+            acc *= self.0[i];
+        }
+        strides
+    }
+
+    /// Shape with the last two dimensions swapped (requires rank >= 2).
+    pub fn transposed(&self) -> Shape {
+        assert!(self.rank() >= 2, "transpose requires rank >= 2, got {self}");
+        let mut d = self.0.clone();
+        let n = d.len();
+        d.swap(n - 1, n - 2);
+        Shape(d)
+    }
+
+    /// Returns the shape that `self` and `other` broadcast to, following
+    /// NumPy rules (align trailing dimensions; each pair must be equal or
+    /// one of them 1). Returns `None` if incompatible.
+    pub fn broadcast_with(&self, other: &Shape) -> Option<Shape> {
+        let rank = self.rank().max(other.rank());
+        let mut out = vec![0; rank];
+        for i in 0..rank {
+            let a = dim_from_end(&self.0, i);
+            let b = dim_from_end(&other.0, i);
+            out[rank - 1 - i] = match (a, b) {
+                (a, b) if a == b => a,
+                (1, b) => b,
+                (a, 1) => a,
+                _ => return None,
+            };
+        }
+        Some(Shape(out))
+    }
+
+    /// True if `self` can broadcast to exactly `target`.
+    pub fn broadcasts_to(&self, target: &Shape) -> bool {
+        if self.rank() > target.rank() {
+            return false;
+        }
+        (0..target.rank()).all(|i| {
+            let a = dim_from_end(&self.0, i);
+            let t = dim_from_end(target.dims(), i);
+            a == t || a == 1
+        })
+    }
+}
+
+fn dim_from_end(dims: &[usize], i: usize) -> usize {
+    if i < dims.len() {
+        dims[dims.len() - 1 - i]
+    } else {
+        1
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Shape{:?}", self.0)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(v: Vec<usize>) -> Self {
+        Shape(v)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(v: &[usize]) -> Self {
+        Shape(v.to_vec())
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(v: [usize; N]) -> Self {
+        Shape(v.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numel_and_rank() {
+        let s = Shape::new([2, 3, 4]);
+        assert_eq!(s.rank(), 3);
+        assert_eq!(s.numel(), 24);
+        assert_eq!(s.last_dim(), 4);
+    }
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::scalar();
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.numel(), 1);
+        assert_eq!(s.last_dim(), 1);
+    }
+
+    #[test]
+    fn strides_row_major() {
+        let s = Shape::new([2, 3, 4]);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+    }
+
+    #[test]
+    fn transpose_swaps_last_two() {
+        let s = Shape::new([5, 2, 3]);
+        assert_eq!(s.transposed().dims(), &[5, 3, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "transpose requires rank >= 2")]
+    fn transpose_rank1_panics() {
+        Shape::new([5]).transposed();
+    }
+
+    #[test]
+    fn broadcast_equal_shapes() {
+        let a = Shape::new([2, 3]);
+        assert_eq!(a.broadcast_with(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn broadcast_prefix_padding() {
+        let a = Shape::new([4, 2, 3]);
+        let b = Shape::new([3]);
+        assert_eq!(a.broadcast_with(&b).unwrap().dims(), &[4, 2, 3]);
+        assert!(b.broadcasts_to(&a));
+        assert!(!a.broadcasts_to(&b));
+    }
+
+    #[test]
+    fn broadcast_ones_expand() {
+        let a = Shape::new([4, 1, 3]);
+        let b = Shape::new([1, 2, 1]);
+        assert_eq!(a.broadcast_with(&b).unwrap().dims(), &[4, 2, 3]);
+    }
+
+    #[test]
+    fn broadcast_incompatible() {
+        let a = Shape::new([4, 2]);
+        let b = Shape::new([3, 2]);
+        assert!(a.broadcast_with(&b).is_none());
+    }
+
+    #[test]
+    fn broadcast_with_scalar() {
+        let a = Shape::new([4, 2]);
+        let s = Shape::scalar();
+        assert_eq!(a.broadcast_with(&s).unwrap(), a);
+        assert!(s.broadcasts_to(&a));
+    }
+}

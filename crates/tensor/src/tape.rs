@@ -1,0 +1,747 @@
+//! Tape-based reverse-mode automatic differentiation.
+//!
+//! A [`Tape`] records every differentiable operation eagerly; calling
+//! [`Var::backward`] walks the tape in reverse, accumulating gradients into
+//! every node. A fresh tape is intended per training step — parameters live
+//! outside the tape and are re-introduced as leaves each step.
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Recorded operation, holding input node ids plus whatever context the
+/// backward pass needs.
+enum Op {
+    Leaf,
+    Add(usize, usize),
+    Sub(usize, usize),
+    Mul(usize, usize),
+    Div(usize, usize),
+    Matmul(usize, usize),
+    Transpose(usize),
+    Reshape(usize),
+    Neg(usize),
+    Scale(usize, f64),
+    AddScalar(usize),
+    Exp(usize),
+    Ln(usize),
+    Sqrt(usize),
+    Square(usize),
+    Abs(usize),
+    Sigmoid(usize),
+    Tanh(usize),
+    Relu(usize),
+    SoftmaxLast(usize),
+    SumAll(usize),
+    MeanAll(usize),
+    SumLast(usize),
+    MeanLast(usize),
+    LayerNormLast { x: usize, inv_std: Tensor },
+    ConcatLast(Vec<usize>),
+    NarrowLast { x: usize, start: usize },
+}
+
+struct Node {
+    value: Tensor,
+    grad: Option<Tensor>,
+    op: Op,
+}
+
+#[derive(Default)]
+struct TapeInner {
+    nodes: Vec<Node>,
+}
+
+/// A recording tape. Cheap to clone (shared handle).
+#[derive(Clone, Default)]
+pub struct Tape {
+    inner: Rc<RefCell<TapeInner>>,
+}
+
+/// A differentiable value: a handle to one node on a [`Tape`].
+#[derive(Clone)]
+pub struct Var {
+    tape: Tape,
+    id: usize,
+}
+
+impl Tape {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Tape::default()
+    }
+
+    /// Number of recorded nodes (diagnostics / tests).
+    pub fn len(&self) -> usize {
+        self.inner.borrow().nodes.len()
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Introduces `t` as a leaf (input or parameter) on the tape.
+    pub fn leaf(&self, t: Tensor) -> Var {
+        self.push(t, Op::Leaf)
+    }
+
+    fn push(&self, value: Tensor, op: Op) -> Var {
+        let mut inner = self.inner.borrow_mut();
+        let id = inner.nodes.len();
+        inner.nodes.push(Node { value, grad: None, op });
+        Var { tape: self.clone(), id }
+    }
+
+    fn value_of(&self, id: usize) -> Tensor {
+        self.inner.borrow().nodes[id].value.clone()
+    }
+
+    fn accumulate(&self, id: usize, g: Tensor) {
+        let mut inner = self.inner.borrow_mut();
+        let node = &mut inner.nodes[id];
+        debug_assert_eq!(
+            g.shape(),
+            node.value.shape(),
+            "gradient shape mismatch at node {id}"
+        );
+        match &mut node.grad {
+            Some(acc) => acc.add_assign(&g),
+            slot @ None => *slot = Some(g),
+        }
+    }
+}
+
+impl Var {
+    /// The tape this variable is recorded on.
+    pub fn tape(&self) -> &Tape {
+        &self.tape
+    }
+
+    /// This variable's current value (cloned out of the tape).
+    pub fn value(&self) -> Tensor {
+        self.tape.value_of(self.id)
+    }
+
+    /// The shape of this variable's value.
+    pub fn shape(&self) -> Shape {
+        self.tape.inner.borrow().nodes[self.id].value.shape().clone()
+    }
+
+    /// The accumulated gradient (zeros if backward never reached this node).
+    pub fn grad(&self) -> Tensor {
+        let inner = self.tape.inner.borrow();
+        let node = &inner.nodes[self.id];
+        node.grad
+            .clone()
+            .unwrap_or_else(|| Tensor::zeros(node.value.shape().clone()))
+    }
+
+    fn same_tape(&self, other: &Var) {
+        assert!(
+            Rc::ptr_eq(&self.tape.inner, &other.tape.inner),
+            "variables belong to different tapes"
+        );
+    }
+
+    fn unary(&self, value: Tensor, op: Op) -> Var {
+        self.tape.push(value, op)
+    }
+
+    // ---- arithmetic --------------------------------------------------------
+
+    /// Elementwise (broadcasting) addition.
+    pub fn add(&self, other: &Var) -> Var {
+        self.same_tape(other);
+        let v = self.value().broadcast_zip(&other.value(), |a, b| a + b);
+        self.tape.push(v, Op::Add(self.id, other.id))
+    }
+
+    /// Elementwise (broadcasting) subtraction.
+    pub fn sub(&self, other: &Var) -> Var {
+        self.same_tape(other);
+        let v = self.value().broadcast_zip(&other.value(), |a, b| a - b);
+        self.tape.push(v, Op::Sub(self.id, other.id))
+    }
+
+    /// Elementwise (broadcasting) multiplication.
+    pub fn mul(&self, other: &Var) -> Var {
+        self.same_tape(other);
+        let v = self.value().broadcast_zip(&other.value(), |a, b| a * b);
+        self.tape.push(v, Op::Mul(self.id, other.id))
+    }
+
+    /// Elementwise (broadcasting) division.
+    pub fn div(&self, other: &Var) -> Var {
+        self.same_tape(other);
+        let v = self.value().broadcast_zip(&other.value(), |a, b| a / b);
+        self.tape.push(v, Op::Div(self.id, other.id))
+    }
+
+    /// Negation.
+    pub fn neg(&self) -> Var {
+        let v = self.value().map(|x| -x);
+        self.unary(v, Op::Neg(self.id))
+    }
+
+    /// Multiplication by a constant.
+    pub fn scale(&self, c: f64) -> Var {
+        let v = self.value().map(|x| x * c);
+        self.unary(v, Op::Scale(self.id, c))
+    }
+
+    /// Addition of a constant.
+    pub fn add_scalar(&self, c: f64) -> Var {
+        let v = self.value().map(|x| x + c);
+        self.unary(v, Op::AddScalar(self.id))
+    }
+
+    // ---- linear algebra ----------------------------------------------------
+
+    /// Matrix product (see [`Tensor::matmul`] for supported rank pairs).
+    pub fn matmul(&self, other: &Var) -> Var {
+        self.same_tape(other);
+        let v = self.value().matmul(&other.value());
+        self.tape.push(v, Op::Matmul(self.id, other.id))
+    }
+
+    /// Swap of the last two dimensions.
+    pub fn transpose(&self) -> Var {
+        let v = self.value().transpose();
+        self.unary(v, Op::Transpose(self.id))
+    }
+
+    /// Shape reinterpretation (element count preserved).
+    pub fn reshape(&self, shape: impl Into<Shape>) -> Var {
+        let v = self.value().reshape(shape);
+        self.unary(v, Op::Reshape(self.id))
+    }
+
+    // ---- nonlinearities ----------------------------------------------------
+
+    /// Elementwise `exp`.
+    pub fn exp(&self) -> Var {
+        let v = self.value().map(f64::exp);
+        self.unary(v, Op::Exp(self.id))
+    }
+
+    /// Elementwise natural log.
+    pub fn ln(&self) -> Var {
+        let v = self.value().map(f64::ln);
+        self.unary(v, Op::Ln(self.id))
+    }
+
+    /// Elementwise square root.
+    pub fn sqrt(&self) -> Var {
+        let v = self.value().map(f64::sqrt);
+        self.unary(v, Op::Sqrt(self.id))
+    }
+
+    /// Elementwise square.
+    pub fn square(&self) -> Var {
+        let v = self.value().map(|x| x * x);
+        self.unary(v, Op::Square(self.id))
+    }
+
+    /// Elementwise absolute value (subgradient 0 at 0).
+    pub fn abs(&self) -> Var {
+        let v = self.value().map(f64::abs);
+        self.unary(v, Op::Abs(self.id))
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&self) -> Var {
+        let v = self.value().map(|x| 1.0 / (1.0 + (-x).exp()));
+        self.unary(v, Op::Sigmoid(self.id))
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&self) -> Var {
+        let v = self.value().map(f64::tanh);
+        self.unary(v, Op::Tanh(self.id))
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&self) -> Var {
+        let v = self.value().map(|x| x.max(0.0));
+        self.unary(v, Op::Relu(self.id))
+    }
+
+    /// Softmax over the last dimension.
+    pub fn softmax_last(&self) -> Var {
+        let v = self.value().softmax_last();
+        self.unary(v, Op::SoftmaxLast(self.id))
+    }
+
+    /// Layer normalization over the last dimension (no affine; compose with
+    /// `mul`/`add` for scale and shift).
+    pub fn layer_norm_last(&self, eps: f64) -> Var {
+        let x = self.value();
+        let m = x.shape().last_dim();
+        let rows = x.numel() / m;
+        let mut inv_std = Vec::with_capacity(rows);
+        let mut out = vec![0.0; x.numel()];
+        for r in 0..rows {
+            let row = &x.data()[r * m..(r + 1) * m];
+            let mean: f64 = row.iter().sum::<f64>() / m as f64;
+            let var: f64 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / m as f64;
+            let is = 1.0 / (var + eps).sqrt();
+            for (o, &v) in out[r * m..(r + 1) * m].iter_mut().zip(row) {
+                *o = (v - mean) * is;
+            }
+            inv_std.push(is);
+        }
+        let value = Tensor::from_vec(out, x.shape().clone());
+        self.tape.push(
+            value,
+            Op::LayerNormLast {
+                x: self.id,
+                inv_std: Tensor::from_vec(inv_std, [rows]),
+            },
+        )
+    }
+
+    // ---- reductions & reshuffles -------------------------------------------
+
+    /// Sum of all elements (rank-0 result).
+    pub fn sum_all(&self) -> Var {
+        let v = Tensor::scalar(self.value().sum());
+        self.unary(v, Op::SumAll(self.id))
+    }
+
+    /// Mean of all elements (rank-0 result).
+    pub fn mean_all(&self) -> Var {
+        let v = Tensor::scalar(self.value().mean());
+        self.unary(v, Op::MeanAll(self.id))
+    }
+
+    /// Sum over the last dimension, dropping it.
+    pub fn sum_last(&self) -> Var {
+        let v = self.value().sum_last();
+        self.unary(v, Op::SumLast(self.id))
+    }
+
+    /// Mean over the last dimension, dropping it.
+    pub fn mean_last(&self) -> Var {
+        let v = self.value().mean_last();
+        self.unary(v, Op::MeanLast(self.id))
+    }
+
+    /// Concatenation along the last dimension.
+    pub fn concat_last(parts: &[Var]) -> Var {
+        assert!(!parts.is_empty(), "concat of zero vars");
+        let tape = parts[0].tape.clone();
+        for p in parts {
+            parts[0].same_tape(p);
+        }
+        let values: Vec<Tensor> = parts.iter().map(|p| p.value()).collect();
+        let refs: Vec<&Tensor> = values.iter().collect();
+        let v = Tensor::concat_last(&refs);
+        tape.push(v, Op::ConcatLast(parts.iter().map(|p| p.id).collect()))
+    }
+
+    /// `len` columns of the last dimension starting at `start`.
+    pub fn narrow_last(&self, start: usize, len: usize) -> Var {
+        let v = self.value().narrow_last(start, len);
+        self.unary(v, Op::NarrowLast { x: self.id, start })
+    }
+
+    /// Mean squared error against `target`: `mean((self - target)^2)`.
+    pub fn mse(&self, target: &Var) -> Var {
+        self.sub(target).square().mean_all()
+    }
+
+    // ---- backward ----------------------------------------------------------
+
+    /// Runs reverse-mode differentiation from this node, seeding its gradient
+    /// with ones. Gradients accumulate into every reachable node.
+    pub fn backward(&self) {
+        let seed = Tensor::ones(self.shape());
+        self.tape.accumulate(self.id, seed);
+        let n = self.tape.len();
+        for id in (0..=self.id.min(n - 1)).rev() {
+            let grad = {
+                let inner = self.tape.inner.borrow();
+                match &inner.nodes[id].grad {
+                    None => continue,
+                    Some(g) => g.clone(),
+                }
+            };
+            self.propagate(id, grad);
+        }
+    }
+
+    fn propagate(&self, id: usize, g: Tensor) {
+        // Clone whatever the backward rule needs while holding the borrow,
+        // then release it before accumulating into inputs.
+        enum Rule {
+            None,
+            One { to: usize, g: Tensor },
+            Two { a: usize, ga: Tensor, b: usize, gb: Tensor },
+            Many(Vec<(usize, Tensor)>),
+        }
+        let rule = {
+            let inner = self.tape.inner.borrow();
+            let node = &inner.nodes[id];
+            let val = |i: usize| inner.nodes[i].value.clone();
+            match &node.op {
+                Op::Leaf => Rule::None,
+                Op::Add(a, b) => {
+                    let ga = g.reduce_to_shape(val(*a).shape());
+                    let gb = g.reduce_to_shape(val(*b).shape());
+                    Rule::Two { a: *a, ga, b: *b, gb }
+                }
+                Op::Sub(a, b) => {
+                    let ga = g.reduce_to_shape(val(*a).shape());
+                    let gb = g.map(|x| -x).reduce_to_shape(val(*b).shape());
+                    Rule::Two { a: *a, ga, b: *b, gb }
+                }
+                Op::Mul(a, b) => {
+                    let (av, bv) = (val(*a), val(*b));
+                    let ga = g.broadcast_zip(&bv, |x, y| x * y).reduce_to_shape(av.shape());
+                    let gb = g.broadcast_zip(&av, |x, y| x * y).reduce_to_shape(bv.shape());
+                    Rule::Two { a: *a, ga, b: *b, gb }
+                }
+                Op::Div(a, b) => {
+                    let (av, bv) = (val(*a), val(*b));
+                    let ga = g.broadcast_zip(&bv, |x, y| x / y).reduce_to_shape(av.shape());
+                    // d/db (a/b) = -a / b^2
+                    let gb = g
+                        .broadcast_zip(&av, |x, y| x * y)
+                        .broadcast_zip(&bv, |x, y| -x / (y * y))
+                        .reduce_to_shape(bv.shape());
+                    Rule::Two { a: *a, ga, b: *b, gb }
+                }
+                Op::Matmul(a, b) => {
+                    let (av, bv) = (val(*a), val(*b));
+                    let (ga, gb) = matmul_backward(&g, &av, &bv);
+                    Rule::Two { a: *a, ga, b: *b, gb }
+                }
+                Op::Transpose(a) => Rule::One { to: *a, g: g.transpose() },
+                Op::Reshape(a) => {
+                    let s = val(*a).shape().clone();
+                    Rule::One { to: *a, g: g.reshape(s) }
+                }
+                Op::Neg(a) => Rule::One { to: *a, g: g.map(|x| -x) },
+                Op::Scale(a, c) => {
+                    let c = *c;
+                    Rule::One { to: *a, g: g.map(|x| x * c) }
+                }
+                Op::AddScalar(a) => Rule::One { to: *a, g },
+                Op::Exp(a) => Rule::One { to: *a, g: g.zip(&node.value, |x, y| x * y) },
+                Op::Ln(a) => Rule::One { to: *a, g: g.zip(&val(*a), |x, y| x / y) },
+                Op::Sqrt(a) => Rule::One { to: *a, g: g.zip(&node.value, |x, y| 0.5 * x / y) },
+                Op::Square(a) => Rule::One { to: *a, g: g.zip(&val(*a), |x, y| 2.0 * x * y) },
+                Op::Abs(a) => Rule::One {
+                    to: *a,
+                    g: g.zip(&val(*a), |x, y| x * y.signum() * f64::from(y != 0.0)),
+                },
+                Op::Sigmoid(a) => Rule::One {
+                    to: *a,
+                    g: g.zip(&node.value, |x, y| x * y * (1.0 - y)),
+                },
+                Op::Tanh(a) => Rule::One {
+                    to: *a,
+                    g: g.zip(&node.value, |x, y| x * (1.0 - y * y)),
+                },
+                Op::Relu(a) => Rule::One {
+                    to: *a,
+                    g: g.zip(&val(*a), |x, y| if y > 0.0 { x } else { 0.0 }),
+                },
+                Op::SoftmaxLast(a) => {
+                    Rule::One { to: *a, g: softmax_backward(&g, &node.value) }
+                }
+                Op::SumAll(a) => {
+                    let s = val(*a).shape().clone();
+                    Rule::One { to: *a, g: Tensor::full(s, g.item()) }
+                }
+                Op::MeanAll(a) => {
+                    let s = val(*a).shape().clone();
+                    let n = s.numel() as f64;
+                    Rule::One { to: *a, g: Tensor::full(s, g.item() / n) }
+                }
+                Op::SumLast(a) => {
+                    let s = val(*a).shape().clone();
+                    Rule::One { to: *a, g: expand_last(&g, &s, 1.0) }
+                }
+                Op::MeanLast(a) => {
+                    let s = val(*a).shape().clone();
+                    let m = s.last_dim() as f64;
+                    Rule::One { to: *a, g: expand_last(&g, &s, 1.0 / m) }
+                }
+                Op::LayerNormLast { x, inv_std } => {
+                    Rule::One {
+                        to: *x,
+                        g: layer_norm_backward(&g, &node.value, inv_std),
+                    }
+                }
+                Op::ConcatLast(parts) => {
+                    let mut grads = Vec::with_capacity(parts.len());
+                    let mut start = 0;
+                    for &p in parts {
+                        let w = val(p).shape().last_dim();
+                        grads.push((p, g.narrow_last(start, w)));
+                        start += w;
+                    }
+                    Rule::Many(grads)
+                }
+                Op::NarrowLast { x, start } => {
+                    let s = val(*x).shape().clone();
+                    Rule::One { to: *x, g: scatter_last(&g, &s, *start) }
+                }
+            }
+        };
+        match rule {
+            Rule::None => {}
+            Rule::One { to, g } => self.tape.accumulate(to, g),
+            Rule::Two { a, ga, b, gb } => {
+                self.tape.accumulate(a, ga);
+                self.tape.accumulate(b, gb);
+            }
+            Rule::Many(gs) => {
+                for (to, g) in gs {
+                    self.tape.accumulate(to, g);
+                }
+            }
+        }
+    }
+}
+
+/// dA, dB for `out = A @ B` given `g = dOut`.
+fn matmul_backward(g: &Tensor, a: &Tensor, b: &Tensor) -> (Tensor, Tensor) {
+    match (a.shape().rank(), b.shape().rank()) {
+        (2, 2) => (g.matmul(&b.transpose()), a.transpose().matmul(g)),
+        (3, 2) => {
+            let ga = g.matmul(&b.transpose());
+            let gb_batched = a.transpose().matmul(g); // [b, k, m]
+            (ga, sum_axis0(&gb_batched))
+        }
+        (3, 3) => (g.matmul(&b.transpose()), a.transpose().matmul(g)),
+        _ => unreachable!("matmul forward validated ranks"),
+    }
+}
+
+/// Sums a rank-3 tensor over its first axis, producing rank-2.
+fn sum_axis0(t: &Tensor) -> Tensor {
+    assert_eq!(t.shape().rank(), 3);
+    let (b, n, m) = (t.shape().dim(0), t.shape().dim(1), t.shape().dim(2));
+    let mut out = vec![0.0; n * m];
+    for bi in 0..b {
+        for (o, &v) in out.iter_mut().zip(&t.data()[bi * n * m..(bi + 1) * n * m]) {
+            *o += v;
+        }
+    }
+    Tensor::from_vec(out, [n, m])
+}
+
+/// Softmax jacobian-vector product over the last dim:
+/// `dx = (g - sum(g*y)) * y` rowwise.
+fn softmax_backward(g: &Tensor, y: &Tensor) -> Tensor {
+    let m = y.shape().last_dim();
+    let rows = y.numel() / m;
+    let mut out = vec![0.0; y.numel()];
+    for r in 0..rows {
+        let gr = &g.data()[r * m..(r + 1) * m];
+        let yr = &y.data()[r * m..(r + 1) * m];
+        let dot: f64 = gr.iter().zip(yr).map(|(&a, &b)| a * b).sum();
+        for ((o, &gi), &yi) in out[r * m..(r + 1) * m].iter_mut().zip(gr).zip(yr) {
+            *o = (gi - dot) * yi;
+        }
+    }
+    Tensor::from_vec(out, y.shape().clone())
+}
+
+/// Layer-norm backward over the last dim given normalized output `y` and the
+/// per-row inverse standard deviation.
+fn layer_norm_backward(g: &Tensor, y: &Tensor, inv_std: &Tensor) -> Tensor {
+    let m = y.shape().last_dim();
+    let rows = y.numel() / m;
+    let mut out = vec![0.0; y.numel()];
+    for r in 0..rows {
+        let gr = &g.data()[r * m..(r + 1) * m];
+        let yr = &y.data()[r * m..(r + 1) * m];
+        let is = inv_std.data()[r];
+        let mean_g: f64 = gr.iter().sum::<f64>() / m as f64;
+        let mean_gy: f64 = gr.iter().zip(yr).map(|(&a, &b)| a * b).sum::<f64>() / m as f64;
+        for ((o, &gi), &yi) in out[r * m..(r + 1) * m].iter_mut().zip(gr).zip(yr) {
+            *o = is * (gi - mean_g - yi * mean_gy);
+        }
+    }
+    Tensor::from_vec(out, y.shape().clone())
+}
+
+/// Broadcasts a reduced-last-dim gradient back over the last dimension of
+/// `target`, scaling each copy by `scale`.
+fn expand_last(g: &Tensor, target: &Shape, scale: f64) -> Tensor {
+    let m = target.last_dim();
+    let rows = target.numel() / m;
+    assert_eq!(g.numel(), rows, "expand_last row mismatch");
+    let mut out = vec![0.0; target.numel()];
+    for r in 0..rows {
+        let v = g.data()[r] * scale;
+        for o in &mut out[r * m..(r + 1) * m] {
+            *o = v;
+        }
+    }
+    Tensor::from_vec(out, target.clone())
+}
+
+/// Scatters a narrowed gradient back into a zero tensor of shape `target`.
+fn scatter_last(g: &Tensor, target: &Shape, start: usize) -> Tensor {
+    let m = target.last_dim();
+    let len = g.shape().last_dim();
+    let rows = target.numel() / m;
+    let mut out = vec![0.0; target.numel()];
+    for r in 0..rows {
+        out[r * m + start..r * m + start + len]
+            .copy_from_slice(&g.data()[r * len..(r + 1) * len]);
+    }
+    Tensor::from_vec(out, target.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_backward() {
+        let t = Tape::new();
+        let a = t.leaf(Tensor::from_slice(&[1.0, 2.0]));
+        let b = t.leaf(Tensor::from_slice(&[3.0, 4.0]));
+        let c = a.add(&b).sum_all();
+        c.backward();
+        assert_eq!(a.grad().data(), &[1.0, 1.0]);
+        assert_eq!(b.grad().data(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn mul_backward() {
+        let t = Tape::new();
+        let a = t.leaf(Tensor::from_slice(&[2.0, 3.0]));
+        let b = t.leaf(Tensor::from_slice(&[5.0, 7.0]));
+        let c = a.mul(&b).sum_all();
+        c.backward();
+        assert_eq!(a.grad().data(), &[5.0, 7.0]);
+        assert_eq!(b.grad().data(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn broadcast_add_backward_reduces() {
+        let t = Tape::new();
+        let a = t.leaf(Tensor::ones([2, 3]));
+        let bias = t.leaf(Tensor::from_slice(&[1.0, 2.0, 3.0]));
+        let c = a.add(&bias).sum_all();
+        c.backward();
+        assert_eq!(bias.grad().data(), &[2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn matmul_backward_2d() {
+        let t = Tape::new();
+        let a = t.leaf(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]));
+        let b = t.leaf(Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], [2, 2]));
+        let c = a.matmul(&b).sum_all();
+        c.backward();
+        // dA = 1s @ B^T
+        assert_eq!(a.grad().data(), &[11.0, 15.0, 11.0, 15.0]);
+        // dB = A^T @ 1s
+        assert_eq!(b.grad().data(), &[4.0, 4.0, 6.0, 6.0]);
+    }
+
+    #[test]
+    fn matmul_backward_batched_shared_rhs() {
+        let t = Tape::new();
+        let a = t.leaf(Tensor::ones([2, 2, 3]));
+        let w = t.leaf(Tensor::ones([3, 2]));
+        let c = a.matmul(&w).sum_all();
+        c.backward();
+        assert_eq!(a.grad().shape().dims(), &[2, 2, 3]);
+        assert_eq!(w.grad().shape().dims(), &[3, 2]);
+        // each weight sees 2 batches * 2 rows of ones
+        assert!(w.grad().data().iter().all(|&v| v == 4.0));
+    }
+
+    #[test]
+    fn chain_rule_square() {
+        let t = Tape::new();
+        let x = t.leaf(Tensor::from_slice(&[3.0]));
+        let y = x.square().scale(2.0).sum_all(); // 2x^2 -> dy/dx = 4x = 12
+        y.backward();
+        assert_eq!(x.grad().data(), &[12.0]);
+    }
+
+    #[test]
+    fn sigmoid_backward_value() {
+        let t = Tape::new();
+        let x = t.leaf(Tensor::from_slice(&[0.0]));
+        let y = x.sigmoid().sum_all();
+        y.backward();
+        // sigma'(0) = 0.25
+        assert!((x.grad().data()[0] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn softmax_backward_sums_to_zero() {
+        // Because softmax output sums to 1, gradient of sum over the
+        // softmax should be ~0 everywhere.
+        let t = Tape::new();
+        let x = t.leaf(Tensor::from_slice(&[0.3, -1.2, 2.0]));
+        let y = x.softmax_last().sum_all();
+        y.backward();
+        for &v in x.grad().data() {
+            assert!(v.abs() < 1e-12, "grad {v}");
+        }
+    }
+
+    #[test]
+    fn layer_norm_output_standardized() {
+        let t = Tape::new();
+        let x = t.leaf(Tensor::from_slice(&[1.0, 2.0, 3.0, 4.0]));
+        let y = x.layer_norm_last(1e-5);
+        let v = y.value();
+        assert!(v.mean().abs() < 1e-10);
+        let var: f64 = v.data().iter().map(|a| a * a).sum::<f64>() / 4.0;
+        assert!((var - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn grad_accumulates_over_reuse() {
+        let t = Tape::new();
+        let x = t.leaf(Tensor::from_slice(&[2.0]));
+        let y = x.mul(&x).sum_all(); // x^2 via reuse, dy/dx = 2x = 4
+        y.backward();
+        assert_eq!(x.grad().data(), &[4.0]);
+    }
+
+    #[test]
+    fn concat_narrow_backward() {
+        let t = Tape::new();
+        let a = t.leaf(Tensor::from_slice(&[1.0, 2.0]));
+        let b = t.leaf(Tensor::from_slice(&[3.0]));
+        let c = Var::concat_last(&[a.clone(), b.clone()]);
+        let d = c.narrow_last(1, 2).scale(3.0).sum_all();
+        d.backward();
+        assert_eq!(a.grad().data(), &[0.0, 3.0]);
+        assert_eq!(b.grad().data(), &[3.0]);
+    }
+
+    #[test]
+    fn mean_last_backward() {
+        let t = Tape::new();
+        let x = t.leaf(Tensor::ones([2, 4]));
+        let y = x.mean_last().sum_all();
+        y.backward();
+        assert!(x.grad().data().iter().all(|&v| (v - 0.25).abs() < 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "different tapes")]
+    fn cross_tape_panics() {
+        let t1 = Tape::new();
+        let t2 = Tape::new();
+        let a = t1.leaf(Tensor::scalar(1.0));
+        let b = t2.leaf(Tensor::scalar(2.0));
+        let _ = a.add(&b);
+    }
+}

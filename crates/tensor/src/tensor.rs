@@ -1,0 +1,674 @@
+//! Dense row-major `f64` tensors and the eager (non-differentiable) ops the
+//! autograd tape is built on.
+
+use crate::shape::Shape;
+use std::fmt;
+
+/// A dense, row-major, heap-allocated `f64` tensor.
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    data: Vec<f64>,
+    shape: Shape,
+}
+
+impl Tensor {
+    /// Creates a tensor from raw data and a shape. Panics if the element
+    /// count does not match the shape.
+    pub fn from_vec(data: Vec<f64>, shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        assert_eq!(
+            data.len(),
+            shape.numel(),
+            "data length {} does not match shape {shape}",
+            data.len()
+        );
+        Tensor { data, shape }
+    }
+
+    /// A rank-0 tensor holding a single value.
+    pub fn scalar(v: f64) -> Self {
+        Tensor { data: vec![v], shape: Shape::scalar() }
+    }
+
+    /// All-zeros tensor of the given shape.
+    pub fn zeros(shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        Tensor { data: vec![0.0; shape.numel()], shape }
+    }
+
+    /// All-ones tensor of the given shape.
+    pub fn ones(shape: impl Into<Shape>) -> Self {
+        Self::full(shape, 1.0)
+    }
+
+    /// Constant-filled tensor of the given shape.
+    pub fn full(shape: impl Into<Shape>, v: f64) -> Self {
+        let shape = shape.into();
+        Tensor { data: vec![v; shape.numel()], shape }
+    }
+
+    /// Builds a tensor by calling `f` for each flat (row-major) index.
+    pub fn from_fn(shape: impl Into<Shape>, f: impl FnMut(usize) -> f64) -> Self {
+        let shape = shape.into();
+        let data = (0..shape.numel()).map(f).collect();
+        Tensor { data, shape }
+    }
+
+    /// A 1-d tensor over a slice.
+    pub fn from_slice(v: &[f64]) -> Self {
+        Tensor { data: v.to_vec(), shape: Shape::new([v.len()]) }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Total element count.
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Flat row-major view of the elements.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable flat view of the elements.
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its flat data.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// The single value of a rank-0 or single-element tensor.
+    pub fn item(&self) -> f64 {
+        assert_eq!(self.numel(), 1, "item() on tensor of shape {}", self.shape);
+        self.data[0]
+    }
+
+    /// Element at a multi-dimensional index.
+    pub fn at(&self, index: &[usize]) -> f64 {
+        assert_eq!(index.len(), self.shape.rank(), "index rank mismatch");
+        let strides = self.shape.strides();
+        let mut flat = 0;
+        for (i, (&ix, &st)) in index.iter().zip(&strides).enumerate() {
+            assert!(ix < self.shape.dim(i), "index {ix} out of range in dim {i}");
+            flat += ix * st;
+        }
+        self.data[flat]
+    }
+
+    /// Reinterprets the data with a new shape of equal element count.
+    pub fn reshape(&self, shape: impl Into<Shape>) -> Tensor {
+        let shape = shape.into();
+        assert_eq!(self.numel(), shape.numel(), "reshape {} -> {shape}", self.shape);
+        Tensor { data: self.data.clone(), shape }
+    }
+
+    /// True if any element is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|v| !v.is_finite())
+    }
+
+    // ---- elementwise helpers ----------------------------------------------
+
+    /// Applies `f` to every element, returning a new tensor.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Tensor {
+        Tensor {
+            data: self.data.iter().map(|&v| f(v)).collect(),
+            shape: self.shape.clone(),
+        }
+    }
+
+    /// Combines two same-shaped tensors elementwise.
+    pub fn zip(&self, other: &Tensor, f: impl Fn(f64, f64) -> f64) -> Tensor {
+        assert_eq!(self.shape, other.shape, "zip shape mismatch");
+        Tensor {
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+            shape: self.shape.clone(),
+        }
+    }
+
+    /// In-place `self += other` (same shape).
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "add_assign shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// In-place scale by a constant.
+    pub fn scale_assign(&mut self, c: f64) {
+        for a in self.data.iter_mut() {
+            *a *= c;
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements.
+    pub fn mean(&self) -> f64 {
+        self.sum() / self.numel() as f64
+    }
+
+    /// Euclidean (L2) norm of the flattened tensor.
+    pub fn l2_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    // ---- binary ops with broadcasting -------------------------------------
+
+    /// Elementwise binary op with NumPy-style broadcasting.
+    pub fn broadcast_zip(&self, other: &Tensor, f: impl Fn(f64, f64) -> f64) -> Tensor {
+        if self.shape == other.shape {
+            return self.zip(other, f);
+        }
+        // Fast path: one operand's shape is a suffix of the other's (bias
+        // adds, attention-mask adds, affine layer-norm) — tile blockwise
+        // without per-element index arithmetic.
+        if is_suffix(&other.shape, &self.shape) {
+            let block = other.numel();
+            let mut data = Vec::with_capacity(self.numel());
+            for chunk in self.data.chunks_exact(block) {
+                data.extend(chunk.iter().zip(&other.data).map(|(&a, &b)| f(a, b)));
+            }
+            return Tensor { data, shape: self.shape.clone() };
+        }
+        if is_suffix(&self.shape, &other.shape) {
+            let block = self.numel();
+            let mut data = Vec::with_capacity(other.numel());
+            for chunk in other.data.chunks_exact(block) {
+                data.extend(self.data.iter().zip(chunk).map(|(&a, &b)| f(a, b)));
+            }
+            return Tensor { data, shape: other.shape.clone() };
+        }
+        let out_shape = self
+            .shape
+            .broadcast_with(&other.shape)
+            .unwrap_or_else(|| panic!("cannot broadcast {} with {}", self.shape, other.shape));
+        let out_strides = out_shape.strides();
+        let a_bstrides = broadcast_strides(&self.shape, &out_shape);
+        let b_bstrides = broadcast_strides(&other.shape, &out_shape);
+        let mut data = Vec::with_capacity(out_shape.numel());
+        let rank = out_shape.rank();
+        let mut index = vec![0usize; rank];
+        for _ in 0..out_shape.numel() {
+            let mut a_off = 0;
+            let mut b_off = 0;
+            for d in 0..rank {
+                a_off += index[d] * a_bstrides[d];
+                b_off += index[d] * b_bstrides[d];
+            }
+            data.push(f(self.data[a_off], other.data[b_off]));
+            // increment multi-index
+            for d in (0..rank).rev() {
+                index[d] += 1;
+                if index[d] < out_shape.dim(d) {
+                    break;
+                }
+                index[d] = 0;
+            }
+        }
+        let _ = out_strides;
+        Tensor { data, shape: out_shape }
+    }
+
+    /// Reduces (sums) a gradient of `grad_shape` down to `self`-like
+    /// `target_shape`, undoing broadcasting. Used by autograd backward.
+    pub fn reduce_to_shape(&self, target: &Shape) -> Tensor {
+        if &self.shape == target {
+            return self.clone();
+        }
+        assert!(
+            target.broadcasts_to(&self.shape),
+            "cannot reduce {} to {target}",
+            self.shape
+        );
+        // Fast path mirroring the broadcast fast path: the target is a
+        // plain suffix of this shape — sum the leading blocks.
+        if is_suffix(target, &self.shape) {
+            let block = target.numel();
+            let mut out = vec![0.0; block];
+            for chunk in self.data.chunks_exact(block) {
+                for (o, &v) in out.iter_mut().zip(chunk) {
+                    *o += v;
+                }
+            }
+            return Tensor { data: out, shape: target.clone() };
+        }
+        let rank = self.shape.rank();
+        let t_rank = target.rank();
+        let mut out = Tensor::zeros(target.clone());
+        let t_strides = target.strides();
+        #[allow(clippy::needless_range_loop)] // stride arithmetic over dims
+        let mut index = vec![0usize; rank];
+        for &v in &self.data {
+            // Map the broadcast index back onto the (possibly lower-rank,
+            // possibly extent-1) target index.
+            let mut t_off = 0;
+            for d in 0..t_rank {
+                let src_d = rank - t_rank + d;
+                let ix = if target.dim(d) == 1 { 0 } else { index[src_d] };
+                t_off += ix * t_strides[d];
+            }
+            out.data[t_off] += v;
+            for d in (0..rank).rev() {
+                index[d] += 1;
+                if index[d] < self.shape.dim(d) {
+                    break;
+                }
+                index[d] = 0;
+            }
+        }
+        out
+    }
+
+    // ---- linear algebra ----------------------------------------------------
+
+    /// Matrix product. Supports:
+    /// - `[n, k] x [k, m]` -> `[n, m]`
+    /// - `[b, n, k] x [k, m]` -> `[b, n, m]` (shared rhs)
+    /// - `[b, n, k] x [b, k, m]` -> `[b, n, m]` (batched)
+    pub fn matmul(&self, rhs: &Tensor) -> Tensor {
+        match (self.shape.rank(), rhs.shape.rank()) {
+            (2, 2) => {
+                let (n, k) = (self.shape.dim(0), self.shape.dim(1));
+                let (k2, m) = (rhs.shape.dim(0), rhs.shape.dim(1));
+                assert_eq!(k, k2, "matmul inner dim: {} vs {}", self.shape, rhs.shape);
+                let mut out = vec![0.0; n * m];
+                matmul_kernel(&self.data, &rhs.data, &mut out, n, k, m);
+                Tensor::from_vec(out, [n, m])
+            }
+            (3, 2) => {
+                let (b, n, k) = (self.shape.dim(0), self.shape.dim(1), self.shape.dim(2));
+                let (k2, m) = (rhs.shape.dim(0), rhs.shape.dim(1));
+                assert_eq!(k, k2, "matmul inner dim: {} vs {}", self.shape, rhs.shape);
+                let mut out = vec![0.0; b * n * m];
+                for bi in 0..b {
+                    matmul_kernel(
+                        &self.data[bi * n * k..(bi + 1) * n * k],
+                        &rhs.data,
+                        &mut out[bi * n * m..(bi + 1) * n * m],
+                        n,
+                        k,
+                        m,
+                    );
+                }
+                Tensor::from_vec(out, [b, n, m])
+            }
+            (3, 3) => {
+                let (b, n, k) = (self.shape.dim(0), self.shape.dim(1), self.shape.dim(2));
+                let (b2, k2, m) = (rhs.shape.dim(0), rhs.shape.dim(1), rhs.shape.dim(2));
+                assert_eq!(b, b2, "matmul batch dim: {} vs {}", self.shape, rhs.shape);
+                assert_eq!(k, k2, "matmul inner dim: {} vs {}", self.shape, rhs.shape);
+                let mut out = vec![0.0; b * n * m];
+                for bi in 0..b {
+                    matmul_kernel(
+                        &self.data[bi * n * k..(bi + 1) * n * k],
+                        &rhs.data[bi * k * m..(bi + 1) * k * m],
+                        &mut out[bi * n * m..(bi + 1) * n * m],
+                        n,
+                        k,
+                        m,
+                    );
+                }
+                Tensor::from_vec(out, [b, n, m])
+            }
+            _ => panic!(
+                "unsupported matmul ranks: {} x {}",
+                self.shape, rhs.shape
+            ),
+        }
+    }
+
+    /// Swaps the last two dimensions, materializing the result.
+    pub fn transpose(&self) -> Tensor {
+        let rank = self.shape.rank();
+        assert!(rank >= 2, "transpose requires rank >= 2, got {}", self.shape);
+        let out_shape = self.shape.transposed();
+        let n = self.shape.dim(rank - 2);
+        let m = self.shape.dim(rank - 1);
+        let batch = self.numel() / (n * m);
+        let mut data = vec![0.0; self.numel()];
+        for b in 0..batch {
+            let src = &self.data[b * n * m..(b + 1) * n * m];
+            let dst = &mut data[b * n * m..(b + 1) * n * m];
+            for i in 0..n {
+                for j in 0..m {
+                    dst[j * n + i] = src[i * m + j];
+                }
+            }
+        }
+        Tensor { data, shape: out_shape }
+    }
+
+    /// Softmax over the last dimension.
+    pub fn softmax_last(&self) -> Tensor {
+        let m = self.shape.last_dim();
+        assert!(m > 0, "softmax over empty dim");
+        let rows = self.numel() / m;
+        let mut data = vec![0.0; self.numel()];
+        for r in 0..rows {
+            let row = &self.data[r * m..(r + 1) * m];
+            let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let out = &mut data[r * m..(r + 1) * m];
+            let mut sum = 0.0;
+            for (o, &v) in out.iter_mut().zip(row) {
+                // If the whole row is -inf (fully masked), fall back to uniform.
+                let e = if max == f64::NEG_INFINITY { 1.0 } else { (v - max).exp() };
+                *o = e;
+                sum += e;
+            }
+            for o in out.iter_mut() {
+                *o /= sum;
+            }
+        }
+        Tensor { data, shape: self.shape.clone() }
+    }
+
+    /// Sums over the last dimension, dropping it.
+    pub fn sum_last(&self) -> Tensor {
+        let m = self.shape.last_dim().max(1);
+        let rows = self.numel() / m;
+        let mut data = Vec::with_capacity(rows);
+        for r in 0..rows {
+            data.push(self.data[r * m..(r + 1) * m].iter().sum());
+        }
+        let dims = self.shape.dims();
+        let out_dims: Vec<usize> = dims[..dims.len().saturating_sub(1)].to_vec();
+        Tensor { data, shape: Shape::new(out_dims) }
+    }
+
+    /// Mean over the last dimension, dropping it.
+    pub fn mean_last(&self) -> Tensor {
+        let m = self.shape.last_dim().max(1) as f64;
+        let mut t = self.sum_last();
+        t.scale_assign(1.0 / m);
+        t
+    }
+
+    /// Concatenates tensors along the last dimension. All inputs must agree
+    /// on every other dimension.
+    pub fn concat_last(parts: &[&Tensor]) -> Tensor {
+        assert!(!parts.is_empty(), "concat of zero tensors");
+        let rank = parts[0].shape.rank();
+        assert!(rank >= 1, "concat requires rank >= 1");
+        let lead: Vec<usize> = parts[0].shape.dims()[..rank - 1].to_vec();
+        let rows: usize = lead.iter().product();
+        let widths: Vec<usize> = parts
+            .iter()
+            .map(|p| {
+                assert_eq!(&p.shape.dims()[..rank - 1], lead.as_slice(), "concat leading dims");
+                p.shape.last_dim()
+            })
+            .collect();
+        let total: usize = widths.iter().sum();
+        let mut data = Vec::with_capacity(rows * total);
+        for r in 0..rows {
+            for (p, &w) in parts.iter().zip(&widths) {
+                data.extend_from_slice(&p.data[r * w..(r + 1) * w]);
+            }
+        }
+        let mut dims = lead;
+        dims.push(total);
+        Tensor { data, shape: Shape::new(dims) }
+    }
+
+    /// Takes `len` columns starting at `start` from the last dimension.
+    pub fn narrow_last(&self, start: usize, len: usize) -> Tensor {
+        let m = self.shape.last_dim();
+        assert!(start + len <= m, "narrow [{start}, {start}+{len}) out of last dim {m}");
+        let rows = self.numel() / m;
+        let mut data = Vec::with_capacity(rows * len);
+        for r in 0..rows {
+            data.extend_from_slice(&self.data[r * m + start..r * m + start + len]);
+        }
+        let mut dims = self.shape.dims().to_vec();
+        *dims.last_mut().unwrap() = len;
+        Tensor { data, shape: Shape::new(dims) }
+    }
+}
+
+/// Naive-but-cache-friendly `out[n,m] += a[n,k] * b[k,m]` (out starts zeroed).
+/// Iterating `i, l, j` keeps the inner loop contiguous over both `b` and `out`.
+fn matmul_kernel(a: &[f64], b: &[f64], out: &mut [f64], n: usize, k: usize, m: usize) {
+    for i in 0..n {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * m..(i + 1) * m];
+        for (l, &a_il) in a_row.iter().enumerate() {
+            if a_il == 0.0 {
+                continue;
+            }
+            let b_row = &b[l * m..(l + 1) * m];
+            for (o, &b_lj) in out_row.iter_mut().zip(b_row) {
+                *o += a_il * b_lj;
+            }
+        }
+    }
+}
+
+/// True if `small`'s dims equal the trailing dims of `big` (and `small` has
+/// at least one element), i.e. broadcasting is pure leading-axis tiling.
+fn is_suffix(small: &Shape, big: &Shape) -> bool {
+    let (sd, bd) = (small.dims(), big.dims());
+    sd.len() <= bd.len()
+        && small.numel() > 0
+        && sd == &bd[bd.len() - sd.len()..]
+        && big.numel().is_multiple_of(small.numel().max(1))
+}
+
+/// Strides for reading `src` as if broadcast to `target` (0-stride on
+/// broadcast dimensions).
+pub(crate) fn broadcast_strides(src: &Shape, target: &Shape) -> Vec<usize> {
+    let src_strides = src.strides();
+    let rank = target.rank();
+    let offset = rank - src.rank();
+    let mut out = vec![0usize; rank];
+    for d in 0..src.rank() {
+        out[offset + d] = if src.dim(d) == 1 { 0 } else { src_strides[d] };
+    }
+    out
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.numel() <= 16 {
+            write!(f, "Tensor({}, {:?})", self.shape, self.data)
+        } else {
+            write!(
+                f,
+                "Tensor({}, [{:.4}, {:.4}, ... ; n={}])",
+                self.shape,
+                self.data[0],
+                self.data[1],
+                self.numel()
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t2(rows: &[&[f64]]) -> Tensor {
+        let n = rows.len();
+        let m = rows[0].len();
+        let data: Vec<f64> = rows.iter().flat_map(|r| r.iter().copied()).collect();
+        Tensor::from_vec(data, [n, m])
+    }
+
+    #[test]
+    fn construct_and_index() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], [2, 3]);
+        assert_eq!(t.at(&[0, 0]), 1.0);
+        assert_eq!(t.at(&[1, 2]), 6.0);
+        assert_eq!(t.numel(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn bad_shape_panics() {
+        Tensor::from_vec(vec![1.0; 5], [2, 3]);
+    }
+
+    #[test]
+    fn scalar_item() {
+        assert_eq!(Tensor::scalar(3.5).item(), 3.5);
+    }
+
+    #[test]
+    fn matmul_2d() {
+        let a = t2(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = t2(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_batched_shared_rhs() {
+        let a = Tensor::from_vec((0..12).map(|v| v as f64).collect(), [2, 2, 3]);
+        let w = Tensor::ones([3, 4]);
+        let c = a.matmul(&w);
+        assert_eq!(c.shape().dims(), &[2, 2, 4]);
+        // first row of first batch: 0+1+2 = 3
+        assert_eq!(c.at(&[0, 0, 0]), 3.0);
+        assert_eq!(c.at(&[1, 1, 3]), 9.0 + 10.0 + 11.0);
+    }
+
+    #[test]
+    fn matmul_batched_both() {
+        let a = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 2.0, 0.0, 0.0, 2.0], [2, 2, 2]);
+        let b = Tensor::from_vec((1..=8).map(|v| v as f64).collect(), [2, 2, 2]);
+        let c = a.matmul(&b);
+        // batch 0: identity * [[1,2],[3,4]]
+        assert_eq!(c.at(&[0, 0, 0]), 1.0);
+        assert_eq!(c.at(&[0, 1, 1]), 4.0);
+        // batch 1: 2*I * [[5,6],[7,8]]
+        assert_eq!(c.at(&[1, 0, 0]), 10.0);
+        assert_eq!(c.at(&[1, 1, 1]), 16.0);
+    }
+
+    #[test]
+    fn transpose_2d() {
+        let a = t2(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let t = a.transpose();
+        assert_eq!(t.shape().dims(), &[3, 2]);
+        assert_eq!(t.at(&[0, 1]), 4.0);
+        assert_eq!(t.at(&[2, 0]), 3.0);
+    }
+
+    #[test]
+    fn transpose_batched() {
+        let a = Tensor::from_vec((0..8).map(|v| v as f64).collect(), [2, 2, 2]);
+        let t = a.transpose();
+        assert_eq!(t.at(&[1, 0, 1]), a.at(&[1, 1, 0]));
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let a = t2(&[&[1.0, 2.0, 3.0], &[0.0, 0.0, 0.0]]);
+        let s = a.softmax_last();
+        let row0: f64 = s.data()[0..3].iter().sum();
+        let row1: f64 = s.data()[3..6].iter().sum();
+        assert!((row0 - 1.0).abs() < 1e-12);
+        assert!((row1 - 1.0).abs() < 1e-12);
+        assert!((s.at(&[1, 0]) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn softmax_fully_masked_row_is_uniform() {
+        let a = Tensor::from_vec(vec![f64::NEG_INFINITY; 4], [1, 4]);
+        let s = a.softmax_last();
+        for &v in s.data() {
+            assert!((v - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn broadcast_add_bias() {
+        let a = Tensor::from_vec((0..6).map(|v| v as f64).collect(), [2, 3]);
+        let bias = Tensor::from_slice(&[10.0, 20.0, 30.0]);
+        let c = a.broadcast_zip(&bias, |x, y| x + y);
+        assert_eq!(c.data(), &[10.0, 21.0, 32.0, 13.0, 24.0, 35.0]);
+    }
+
+    #[test]
+    fn broadcast_scalar() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], [2]);
+        let s = Tensor::scalar(5.0);
+        let c = a.broadcast_zip(&s, |x, y| x * y);
+        assert_eq!(c.data(), &[5.0, 10.0]);
+    }
+
+    #[test]
+    fn broadcast_middle_one() {
+        let a = Tensor::ones([2, 1, 3]);
+        let b = Tensor::from_vec(vec![1.0, 2.0], [1, 2, 1]);
+        let c = a.broadcast_zip(&b, |x, y| x * y);
+        assert_eq!(c.shape().dims(), &[2, 2, 3]);
+        assert_eq!(c.at(&[0, 1, 2]), 2.0);
+        assert_eq!(c.at(&[1, 0, 0]), 1.0);
+    }
+
+    #[test]
+    fn reduce_to_shape_sums_broadcast_dims() {
+        let g = Tensor::ones([2, 3]);
+        let r = g.reduce_to_shape(&Shape::new([3]));
+        assert_eq!(r.data(), &[2.0, 2.0, 2.0]);
+        let r2 = g.reduce_to_shape(&Shape::scalar());
+        assert_eq!(r2.item(), 6.0);
+    }
+
+    #[test]
+    fn reduce_to_shape_extent_one() {
+        let g = Tensor::ones([2, 3, 4]);
+        let r = g.reduce_to_shape(&Shape::new([2, 1, 4]));
+        assert_eq!(r.shape().dims(), &[2, 1, 4]);
+        assert_eq!(r.data()[0], 3.0);
+    }
+
+    #[test]
+    fn concat_and_narrow_roundtrip() {
+        let a = Tensor::from_vec((0..6).map(|v| v as f64).collect(), [2, 3]);
+        let b = Tensor::from_vec((10..14).map(|v| v as f64).collect(), [2, 2]);
+        let c = Tensor::concat_last(&[&a, &b]);
+        assert_eq!(c.shape().dims(), &[2, 5]);
+        assert_eq!(c.data(), &[0.0, 1.0, 2.0, 10.0, 11.0, 3.0, 4.0, 5.0, 12.0, 13.0]);
+        assert_eq!(c.narrow_last(0, 3).data(), a.data());
+        assert_eq!(c.narrow_last(3, 2).data(), b.data());
+    }
+
+    #[test]
+    fn sum_and_mean_last() {
+        let a = t2(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(a.sum_last().data(), &[6.0, 15.0]);
+        assert_eq!(a.mean_last().data(), &[2.0, 5.0]);
+    }
+
+    #[test]
+    fn l2_norm() {
+        let a = Tensor::from_slice(&[3.0, 4.0]);
+        assert!((a.l2_norm() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn map_zip() {
+        let a = Tensor::from_slice(&[1.0, -2.0]);
+        assert_eq!(a.map(f64::abs).data(), &[1.0, 2.0]);
+        let b = Tensor::from_slice(&[10.0, 10.0]);
+        assert_eq!(a.zip(&b, |x, y| x + y).data(), &[11.0, 8.0]);
+    }
+}

@@ -1,0 +1,191 @@
+//! TranAD hyperparameters (paper §4) and ablation switches (§5.1).
+
+/// Configuration of the TranAD model and training loop.
+///
+/// Defaults follow the paper: window size 10, 1 transformer encoder layer,
+/// 2 feed-forward layers with 64 hidden units, dropout 0.1, AdamW with lr
+/// 0.01 (meta lr 0.02) and a step scheduler with factor 0.5.
+#[derive(Debug, Clone, Copy, serde::Serialize, serde::Deserialize)]
+pub struct TranadConfig {
+    /// Local context window length `K`.
+    pub window: usize,
+    /// Length of the encoded complete-sequence context `C` fed to the first
+    /// encoder. The paper encodes the sequence up to `t`; we cap it (see
+    /// DESIGN.md) since attention cost is quadratic.
+    pub context: usize,
+    /// Feed-forward hidden width inside encoder layers.
+    pub ff_hidden: usize,
+    /// Dropout probability in the encoders.
+    pub dropout: f64,
+    /// Upper bound on attention heads. The paper sets heads equal to the
+    /// dataset dimensionality; we use the largest divisor of `d_model = 2m`
+    /// not exceeding this cap (other assignments "give similar broad-level
+    /// trends", §4).
+    pub max_heads: usize,
+    /// Initial AdamW learning rate.
+    pub lr: f64,
+    /// Meta-learning (outer MAML) rate.
+    pub meta_lr: f64,
+    /// Scheduler: halve the lr every this many epochs.
+    pub lr_step: u64,
+    /// Maximum training epochs (iteration limit `N` of Algorithm 1).
+    pub epochs: usize,
+    /// Mini-batch size for window batches.
+    pub batch_size: usize,
+    /// Evolutionary hyperparameter ε of Eq. 10 (close to 1; the weight of
+    /// the reconstruction term at epoch `n` is `ε^{-n}`... see note below).
+    pub epsilon: f64,
+    /// Patience (epochs without validation improvement) for early stopping.
+    pub patience: usize,
+    /// Upper bound on the number of training windows visited per epoch
+    /// (a fresh random subsample each epoch). Keeps wide, long datasets
+    /// tractable on CPU without changing the estimator.
+    pub max_windows_per_epoch: usize,
+    /// RNG seed for weight init, batching and dropout.
+    pub seed: u64,
+    /// Ablation: replace the transformer encoders with feed-forward
+    /// networks ("w/o transformer", Table 6 row 2).
+    pub use_transformer: bool,
+    /// Ablation: self-conditioning — feed the phase-1 reconstruction error
+    /// as the phase-2 focus score ("w/o self-conditioning" sets this false,
+    /// fixing `F = 0`).
+    pub self_conditioning: bool,
+    /// Ablation: two-phase adversarial training ("w/o adversarial training"
+    /// sets this false: single phase, pure reconstruction loss).
+    pub adversarial: bool,
+    /// Ablation: MAML meta step per epoch ("w/o MAML" sets this false).
+    pub maml: bool,
+    /// Extension (paper §6 future work): bidirectional window encoding —
+    /// drop the causal mask so the window encoder attends to the whole
+    /// window in both directions. Only valid for offline detection; the
+    /// online API requires causal attention.
+    pub bidirectional: bool,
+}
+
+impl Default for TranadConfig {
+    fn default() -> Self {
+        TranadConfig {
+            window: 10,
+            context: 20,
+            ff_hidden: 64,
+            dropout: 0.1,
+            max_heads: 8,
+            lr: 0.01,
+            meta_lr: 0.02,
+            lr_step: 5,
+            epochs: 10,
+            batch_size: 128,
+            epsilon: 1.06,
+            patience: 3,
+            max_windows_per_epoch: usize::MAX,
+            seed: 42,
+            use_transformer: true,
+            self_conditioning: true,
+            adversarial: true,
+            maml: true,
+            bidirectional: false,
+        }
+    }
+}
+
+impl TranadConfig {
+    /// A configuration tuned for fast unit/integration tests.
+    pub fn fast() -> Self {
+        TranadConfig {
+            epochs: 3,
+            batch_size: 64,
+            dropout: 0.0,
+            ..Default::default()
+        }
+    }
+
+    /// The evolving reconstruction weight `ε^{-n}` at epoch `n` (Eq. 10).
+    /// ε slightly above 1 makes the weight decay from 1 toward 0, shifting
+    /// emphasis from plain reconstruction to the adversarial term.
+    pub fn recon_weight(&self, epoch: usize) -> f64 {
+        self.epsilon.powi(-(epoch as i32))
+    }
+
+    /// Number of attention heads for modality `m`: the largest divisor of
+    /// `d_model = 2m` that does not exceed [`TranadConfig::max_heads`].
+    pub fn heads_for(&self, m: usize) -> usize {
+        let d_model = self.d_model(m);
+        (1..=self.max_heads.min(d_model))
+            .rev()
+            .find(|h| d_model.is_multiple_of(*h))
+            .unwrap_or(1)
+    }
+
+    /// The model width: `d_model = 2m` (window concatenated with the focus
+    /// score on the feature axis), floored at 16. Below the floor the raw
+    /// concatenation is linearly embedded — with tiny widths (univariate
+    /// data gives `2m = 2`) the encoder's LayerNorm degenerates: the
+    /// normalization of two features is always `±1`, destroying all
+    /// information.
+    pub fn d_model(&self, m: usize) -> usize {
+        (2 * m).max(16)
+    }
+
+    /// Validates invariants, panicking with a descriptive message.
+    pub fn validate(&self) {
+        assert!(self.window >= 1, "window must be >= 1");
+        assert!(self.context >= self.window, "context must cover the window");
+        assert!(self.epsilon > 1.0, "epsilon must exceed 1 for a decaying reconstruction weight");
+        assert!((0.0..1.0).contains(&self.dropout), "dropout in [0,1)");
+        assert!(self.batch_size >= 1 && self.epochs >= 1, "batching config");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = TranadConfig::default();
+        assert_eq!(c.window, 10);
+        assert_eq!(c.ff_hidden, 64);
+        assert_eq!(c.dropout, 0.1);
+        assert_eq!(c.lr, 0.01);
+        assert_eq!(c.meta_lr, 0.02);
+        c.validate();
+    }
+
+    #[test]
+    fn recon_weight_decays_from_one() {
+        let c = TranadConfig::default();
+        assert!((c.recon_weight(0) - 1.0).abs() < 1e-12);
+        assert!(c.recon_weight(5) < c.recon_weight(1));
+        assert!(c.recon_weight(100) > 0.0);
+    }
+
+    #[test]
+    fn heads_divide_d_model() {
+        let c = TranadConfig::default();
+        for m in [1, 2, 5, 25, 38, 51, 55, 123] {
+            let h = c.heads_for(m);
+            assert_eq!(c.d_model(m) % h, 0, "m={m}, h={h}");
+            assert!(h <= c.max_heads);
+        }
+    }
+
+    #[test]
+    fn heads_for_univariate() {
+        let c = TranadConfig::default();
+        assert_eq!(c.d_model(1), 16); // floored
+        assert_eq!(c.heads_for(1), 8);
+    }
+
+    #[test]
+    fn d_model_uses_2m_above_floor() {
+        let c = TranadConfig::default();
+        assert_eq!(c.d_model(25), 50);
+        assert_eq!(c.d_model(8), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "context must cover the window")]
+    fn validate_rejects_short_context() {
+        TranadConfig { context: 5, window: 10, ..Default::default() }.validate();
+    }
+}

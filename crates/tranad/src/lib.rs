@@ -1,0 +1,50 @@
+//! # tranad
+//!
+//! A from-scratch Rust implementation of **TranAD** (Tuli, Casale,
+//! Jennings — VLDB 2022): deep transformer networks for anomaly detection
+//! and diagnosis in multivariate time series.
+//!
+//! The model (Figure 1 of the paper) encodes the sequence context and the
+//! current window with transformer encoders, reconstructs the window with
+//! two decoders, and trains them adversarially in two phases with
+//! focus-score self-conditioning (Algorithm 1). At test time, POT
+//! thresholding turns reconstruction deviations into per-dimension anomaly
+//! labels (Algorithm 2).
+//!
+//! ```
+//! use tranad::{train, PotConfig, TranadConfig};
+//! use tranad_data::TimeSeries;
+//!
+//! // A short sine-wave series; anything implementing the data layout works.
+//! let col: Vec<f64> = (0..200).map(|t| (t as f64 / 8.0).sin()).collect();
+//! let series = TimeSeries::from_columns(&[col]);
+//!
+//! let config = TranadConfig { epochs: 2, window: 6, context: 12, ff_hidden: 8,
+//!                             ..TranadConfig::default() };
+//! let (detector, report) = train(&series, config);
+//! assert!(report.epochs_run >= 1);
+//!
+//! let detection = detector.detect(&series, PotConfig::default());
+//! assert_eq!(detection.labels.len(), series.len());
+//! ```
+
+pub mod ablation;
+pub mod config;
+pub mod detect;
+pub mod introspect;
+pub mod model;
+pub mod online;
+pub mod persist;
+pub mod train;
+
+pub use ablation::Ablation;
+pub use config::TranadConfig;
+pub use detect::{detect_aggregate, detect_from_scores, Detection};
+pub use introspect::Introspection;
+pub use model::{TranadModel, TranadOutput};
+pub use online::{OnlineDetector, OnlineVerdict};
+pub use persist::PersistError;
+pub use train::{train, TrainReport, TrainedTranad};
+
+// Re-export the POT configuration: it is part of the detection API surface.
+pub use tranad_evt::PotConfig;

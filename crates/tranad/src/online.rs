@@ -1,0 +1,192 @@
+//! Online (streaming) inference — the deployment mode of Algorithm 2:
+//! datapoints arrive one at a time, each is scored against the model using
+//! only past observations, and per-dimension streaming SPOT thresholds turn
+//! scores into labels on the spot.
+
+use crate::train::TrainedTranad;
+use tranad_data::TimeSeries;
+use tranad_evt::{PotConfig, Spot};
+use tranad_nn::Ctx;
+use tranad_tensor::Tensor;
+
+/// The verdict for one streamed datapoint.
+#[derive(Debug, Clone)]
+pub struct OnlineVerdict {
+    /// Per-dimension anomaly scores at this timestamp.
+    pub scores: Vec<f64>,
+    /// Per-dimension anomaly labels (`y_i` of Eq. 14).
+    pub dim_labels: Vec<bool>,
+    /// Timestamp label `y = ∨_i y_i`.
+    pub anomalous: bool,
+}
+
+/// A streaming anomaly detector wrapping a trained TranAD model.
+///
+/// Keeps a replication-padded ring buffer of the most recent context and a
+/// per-dimension [`Spot`] thresholder. Feed raw (unnormalized) datapoints
+/// with [`OnlineDetector::push`].
+pub struct OnlineDetector<'a> {
+    trained: &'a TrainedTranad,
+    history: Vec<Vec<f64>>, // normalized rows, newest last
+    spots: Vec<Spot>,
+    dims: usize,
+}
+
+impl<'a> OnlineDetector<'a> {
+    /// Creates a streaming detector; SPOT is initialized from the model's
+    /// training scores.
+    pub fn new(trained: &'a TrainedTranad, pot: PotConfig) -> Self {
+        let dims = trained.model.dims();
+        let spots = (0..dims)
+            .map(|d| {
+                let calib: Vec<f64> = trained.train_scores.iter().map(|r| r[d]).collect();
+                Spot::init(&calib, pot)
+            })
+            .collect();
+        OnlineDetector { trained, history: Vec::new(), spots, dims }
+    }
+
+    /// Number of datapoints consumed so far.
+    pub fn len(&self) -> usize {
+        self.history.len()
+    }
+
+    /// True if no datapoints were consumed yet.
+    pub fn is_empty(&self) -> bool {
+        self.history.is_empty()
+    }
+
+    /// Consumes one raw datapoint and returns its verdict.
+    pub fn push(&mut self, datapoint: &[f64]) -> OnlineVerdict {
+        assert_eq!(datapoint.len(), self.dims, "datapoint dimensionality");
+        // Normalize with the *training* normalizer (Eq. 1: ranges known
+        // a-priori), then append to history.
+        let row = TimeSeries::from_rows(datapoint.to_vec(), 1, self.dims);
+        let normalized = self.trained.normalizer.transform(&row);
+        self.history.push(normalized.row(0).to_vec());
+
+        let config = *self.trained.model.config();
+        let k = config.window;
+        let c_len = config.context;
+
+        // Assemble the current window and context with replication padding
+        // (exactly §3.2's W_t and C_t).
+        let window = self.padded_tail(k);
+        let context = self.padded_tail(c_len);
+
+        let ctx = Ctx::eval(&self.trained.store);
+        let w = ctx.input(Tensor::from_vec(window, [1, k, self.dims]));
+        let c = ctx.input(Tensor::from_vec(context, [1, c_len, self.dims]));
+        let out = self.trained.model.forward(&ctx, &w, &c);
+        let o1 = out.o1.value();
+        let o2h = out.o2_hat.value();
+        let wv = w.value();
+
+        let base = (k - 1) * self.dims;
+        let scores: Vec<f64> = (0..self.dims)
+            .map(|d| {
+                let target = wv.data()[base + d];
+                let e1 = o1.data()[base + d] - target;
+                let e2 = o2h.data()[base + d] - target;
+                0.5 * e1 * e1 + 0.5 * e2 * e2
+            })
+            .collect();
+        let dim_labels: Vec<bool> = scores
+            .iter()
+            .zip(self.spots.iter_mut())
+            .map(|(&s, spot)| spot.step(s))
+            .collect();
+        let anomalous = dim_labels.iter().any(|&b| b);
+        OnlineVerdict { scores, dim_labels, anomalous }
+    }
+
+    /// The last `n` history rows flattened, replication-padded at the front
+    /// with the oldest available row.
+    fn padded_tail(&self, n: usize) -> Vec<f64> {
+        let mut out = Vec::with_capacity(n * self.dims);
+        let have = self.history.len();
+        for i in 0..n {
+            let idx = (have + i).saturating_sub(n);
+            out.extend_from_slice(&self.history[idx.min(have - 1)]);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TranadConfig;
+    use crate::train::train;
+    use tranad_data::SignalRng;
+
+    fn trained_model() -> TrainedTranad {
+        let mut rng = SignalRng::new(11);
+        let col: Vec<f64> = (0..500)
+            .map(|t| (t as f64 / 9.0).sin() + 0.05 * rng.normal())
+            .collect();
+        let series = TimeSeries::from_columns(&[col]);
+        let config = TranadConfig {
+            epochs: 3,
+            window: 6,
+            context: 12,
+            ff_hidden: 16,
+            dropout: 0.0,
+            ..TranadConfig::default()
+        };
+        train(&series, config).0
+    }
+
+    #[test]
+    fn online_matches_batch_scoring_at_tail() {
+        let trained = trained_model();
+        let mut rng = SignalRng::new(12);
+        let col: Vec<f64> = (0..60)
+            .map(|t| (t as f64 / 9.0).sin() + 0.05 * rng.normal())
+            .collect();
+        let series = TimeSeries::from_columns(&[col.clone()]);
+        let batch_scores = trained.score_series(&series);
+
+        let mut online = OnlineDetector::new(&trained, PotConfig::default());
+        for (t, &v) in col.iter().enumerate() {
+            let verdict = online.push(&[v]);
+            // The online score must equal the batch score at every index
+            // where the context window is identical (all of them, since
+            // both use the same replication padding).
+            assert!(
+                (verdict.scores[0] - batch_scores[t][0]).abs() < 1e-9,
+                "t={t}: online {} vs batch {}",
+                verdict.scores[0],
+                batch_scores[t][0]
+            );
+        }
+    }
+
+    #[test]
+    fn online_flags_injected_spike() {
+        let trained = trained_model();
+        let mut online = OnlineDetector::new(&trained, PotConfig::default());
+        let mut rng = SignalRng::new(13);
+        let mut flagged_normal = 0;
+        for t in 0..80 {
+            let v = (t as f64 / 9.0).sin() + 0.05 * rng.normal();
+            if online.push(&[v]).anomalous {
+                flagged_normal += 1;
+            }
+        }
+        assert!(flagged_normal <= 2, "false alarms on normal stream: {flagged_normal}");
+        let verdict = online.push(&[9.0]); // extreme outlier
+        assert!(verdict.anomalous);
+        assert!(verdict.dim_labels[0]);
+    }
+
+    #[test]
+    fn push_checks_dimensionality() {
+        let trained = trained_model();
+        let mut online = OnlineDetector::new(&trained, PotConfig::default());
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            online.push(&[1.0, 2.0])
+        }));
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,208 @@
+//! Model persistence: save a trained detector to JSON and load it back.
+//!
+//! The file stores the configuration, dimensionality, normalizer state,
+//! every parameter tensor and the POT calibration scores. Loading rebuilds
+//! the network from the configuration (parameter registration order is
+//! deterministic) and restores the weights, so a loaded detector scores
+//! bit-identically to the original.
+
+use crate::config::TranadConfig;
+use crate::model::TranadModel;
+use crate::train::TrainedTranad;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+use tranad_data::Normalizer;
+use tranad_nn::{Init, ParamStore};
+use tranad_tensor::Tensor;
+
+/// Serializable snapshot of a trained detector.
+#[derive(Serialize, Deserialize)]
+struct SavedModel {
+    format_version: u32,
+    config: TranadConfig,
+    dims: usize,
+    normalizer_mins: Vec<f64>,
+    normalizer_ranges: Vec<f64>,
+    /// `(shape, data)` per parameter, in registration order.
+    params: Vec<(Vec<usize>, Vec<f64>)>,
+    train_scores: Vec<Vec<f64>>,
+}
+
+const FORMAT_VERSION: u32 = 1;
+
+/// Errors from saving/loading a model.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// JSON encode/decode failure.
+    Json(serde_json::Error),
+    /// The file's structure does not match the configuration.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "io error: {e}"),
+            PersistError::Json(e) => write!(f, "json error: {e}"),
+            PersistError::Corrupt(msg) => write!(f, "corrupt model file: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for PersistError {
+    fn from(e: serde_json::Error) -> Self {
+        PersistError::Json(e)
+    }
+}
+
+impl TrainedTranad {
+    /// Saves the detector to a JSON file.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
+        let (mins, ranges) = self.normalizer.to_parts();
+        let params: Vec<(Vec<usize>, Vec<f64>)> = self
+            .store
+            .snapshot()
+            .into_iter()
+            .map(|t| (t.shape().dims().to_vec(), t.data().to_vec()))
+            .collect();
+        let saved = SavedModel {
+            format_version: FORMAT_VERSION,
+            config: *self.model.config(),
+            dims: self.model.dims(),
+            normalizer_mins: mins,
+            normalizer_ranges: ranges,
+            params,
+            train_scores: self.train_scores.clone(),
+        };
+        std::fs::write(path, serde_json::to_string(&saved)?)?;
+        Ok(())
+    }
+
+    /// Loads a detector from a JSON file written by [`TrainedTranad::save`].
+    pub fn load(path: impl AsRef<Path>) -> Result<TrainedTranad, PersistError> {
+        let text = std::fs::read_to_string(path)?;
+        let saved: SavedModel = serde_json::from_str(&text)?;
+        if saved.format_version != FORMAT_VERSION {
+            return Err(PersistError::Corrupt(format!(
+                "format version {} (expected {FORMAT_VERSION})",
+                saved.format_version
+            )));
+        }
+        // Rebuild the network: registration order is deterministic, so the
+        // freshly initialized store has the same layout as the saved one.
+        let mut store = ParamStore::new();
+        let mut init = Init::with_seed(saved.config.seed);
+        let model = TranadModel::new(&mut store, &mut init, saved.dims, saved.config);
+        if store.len() != saved.params.len() {
+            return Err(PersistError::Corrupt(format!(
+                "{} parameters in file, model has {}",
+                saved.params.len(),
+                store.len()
+            )));
+        }
+        let tensors: Result<Vec<Tensor>, PersistError> = saved
+            .params
+            .into_iter()
+            .enumerate()
+            .map(|(i, (shape, data))| {
+                let expected: usize = shape.iter().product();
+                if expected != data.len() {
+                    return Err(PersistError::Corrupt(format!(
+                        "parameter {i}: shape {shape:?} vs {} values",
+                        data.len()
+                    )));
+                }
+                Ok(Tensor::from_vec(data, shape))
+            })
+            .collect();
+        let tensors = tensors?;
+        for (id, t) in store.ids().zip(&tensors).map(|(id, t)| (id, t.clone())).collect::<Vec<_>>() {
+            if store.get(id).shape() != t.shape() {
+                return Err(PersistError::Corrupt(format!(
+                    "parameter {} shape mismatch",
+                    id.index()
+                )));
+            }
+            store.set(id, t);
+        }
+        Ok(TrainedTranad {
+            store,
+            model,
+            normalizer: Normalizer::from_parts(saved.normalizer_mins, saved.normalizer_ranges),
+            train_scores: saved.train_scores,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::train::train;
+    use tranad_data::{SignalRng, TimeSeries};
+
+    fn toy() -> (TimeSeries, TranadConfig) {
+        let mut rng = SignalRng::new(17);
+        let cols: Vec<Vec<f64>> = (0..2)
+            .map(|_| (0..300).map(|t| (t as f64 / 8.0).sin() + 0.05 * rng.normal()).collect())
+            .collect();
+        let config = TranadConfig {
+            epochs: 2,
+            window: 6,
+            context: 12,
+            ff_hidden: 16,
+            dropout: 0.0,
+            ..TranadConfig::default()
+        };
+        (TimeSeries::from_columns(&cols), config)
+    }
+
+    #[test]
+    fn save_load_roundtrip_scores_identically() {
+        let (series, config) = toy();
+        let (trained, _) = train(&series, config);
+        let dir = std::env::temp_dir().join("tranad_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        trained.save(&path).unwrap();
+        let loaded = TrainedTranad::load(&path).unwrap();
+        assert_eq!(trained.score_series(&series), loaded.score_series(&series));
+        assert_eq!(trained.train_scores, loaded.train_scores);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_rejects_wrong_version() {
+        let (series, config) = toy();
+        let (trained, _) = train(&series, config);
+        let dir = std::env::temp_dir().join("tranad_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad_version.json");
+        trained.save(&path).unwrap();
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text = text.replace("\"format_version\":1", "\"format_version\":99");
+        std::fs::write(&path, text).unwrap();
+        assert!(matches!(
+            TrainedTranad::load(&path),
+            Err(PersistError::Corrupt(_))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_rejects_missing_file() {
+        assert!(matches!(
+            TrainedTranad::load("/nonexistent/model.json"),
+            Err(PersistError::Io(_))
+        ));
+    }
+}
