@@ -6,7 +6,7 @@ use std::time::Instant;
 use tranad_data::{Normalizer, SignalRng, TimeSeries, Windows};
 use tranad_nn::optim::AdamW;
 use tranad_nn::{Ctx, ParamId, ParamStore};
-use tranad_tensor::{Tensor, Var};
+use tranad_tensor::{pool, Tensor, Var};
 
 /// Common hyperparameters for the neural baselines. Values follow the
 /// respective papers where they matter (window 10 to match §4; modest
@@ -162,20 +162,24 @@ pub fn last_row_sq_error(recon: &Tensor, w: &Tensor) -> Vec<Vec<f64>> {
 }
 
 /// Scores a series with a per-batch closure mapping `[b, k, m]` windows to
-/// per-dimension scores.
+/// per-dimension scores. Batches are independent (the closure builds its
+/// own eval context per call), so they run on the thread pool; batch
+/// boundaries depend only on the series length and `batch`, never on the
+/// thread count, so results are identical for any pool size.
 pub fn score_windows(
     series: &TimeSeries,
     window: usize,
     batch: usize,
-    mut f: impl FnMut(&Tensor) -> Vec<Vec<f64>>,
+    f: impl Fn(&Tensor) -> Vec<Vec<f64>> + Sync,
 ) -> Vec<Vec<f64>> {
     let windows = Windows::new(series.clone(), window);
     let all: Vec<usize> = (0..windows.len()).collect();
-    let mut out = Vec::with_capacity(windows.len());
-    for chunk in all.chunks(batch.max(1)) {
-        out.extend(f(&windows.batch(chunk)));
-    }
-    out
+    let chunks: Vec<&[usize]> = all.chunks(batch.max(1)).collect();
+    let mut slots: Vec<Vec<Vec<f64>>> = vec![Vec::new(); chunks.len()];
+    pool::parallel_chunks_mut(&mut slots, 1, |i, slot| {
+        slot[0] = f(&windows.batch(chunks[i]));
+    });
+    slots.into_iter().flatten().collect()
 }
 
 #[cfg(test)]

@@ -116,11 +116,11 @@ impl Mscred {
                     let mut chan_err = vec![0.0; state.channels];
                     for (si, _) in state.scales.iter().enumerate() {
                         let base = bi * sig_len + si * state.channels * state.channels;
-                        for i in 0..state.channels {
+                        for (i, ce) in chan_err.iter_mut().enumerate() {
                             for j in 0..state.channels {
                                 let idx = base + i * state.channels + j;
                                 let e = recon.data()[idx] - input.data()[idx];
-                                chan_err[i] += e * e;
+                                *ce += e * e;
                             }
                         }
                     }

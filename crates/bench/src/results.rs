@@ -4,8 +4,8 @@
 //! be regenerated from disk.
 
 use crate::runner::RunResult;
-use serde::{de::DeserializeOwned, Serialize};
 use std::fs;
+use tranad_json::{FromJson, ToJson};
 use std::path::PathBuf;
 
 /// Directory for persisted results (workspace-relative).
@@ -14,19 +14,20 @@ pub fn results_dir() -> PathBuf {
 }
 
 /// Writes `rows` to `target/results/<name>.json` (pretty-printed).
-pub fn save<T: Serialize>(name: &str, rows: &T) -> std::io::Result<PathBuf> {
+pub fn save<T: ToJson>(name: &str, rows: &T) -> std::io::Result<PathBuf> {
     let dir = results_dir();
     fs::create_dir_all(&dir)?;
     let path = dir.join(format!("{name}.json"));
-    fs::write(&path, serde_json::to_string_pretty(rows)?)?;
+    fs::write(&path, rows.to_json().to_string_pretty())?;
     Ok(path)
 }
 
-/// Loads previously saved rows, or `None` if the file does not exist.
-pub fn load<T: DeserializeOwned>(name: &str) -> Option<T> {
+/// Loads previously saved rows, or `None` if the file is absent or stale
+/// (unparsable, or written by an incompatible schema).
+pub fn load<T: FromJson>(name: &str) -> Option<T> {
     let path = results_dir().join(format!("{name}.json"));
     let text = fs::read_to_string(path).ok()?;
-    serde_json::from_str(&text).ok()
+    T::from_json(&tranad_json::parse(&text).ok()?).ok()
 }
 
 /// Merges freshly computed rows into the cached rows for `name`: new rows

@@ -1,7 +1,6 @@
 //! Shared experiment runner: fits a detector on a dataset, applies the
 //! paper's POT decision procedure, and computes the Table 2/3 metrics.
 
-use serde::{Deserialize, Serialize};
 use tranad::detect_aggregate;
 use tranad_baselines::{aggregate_scores, Detector, NeuralConfig};
 use tranad_data::{limited_data_subsets, Dataset, DatasetKind, GenConfig, TimeSeries};
@@ -10,7 +9,7 @@ use tranad_metrics::{evaluate, point_adjust, Confusion};
 use tranad::TranadConfig;
 
 /// One (method, dataset) evaluation outcome.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RunResult {
     /// Method name.
     pub method: String,
@@ -27,6 +26,16 @@ pub struct RunResult {
     /// Mean training seconds per epoch.
     pub secs_per_epoch: f64,
 }
+
+tranad_json::impl_json_struct!(RunResult {
+    method,
+    dataset,
+    precision,
+    recall,
+    auc,
+    f1,
+    secs_per_epoch,
+});
 
 /// The harness-wide experiment configuration.
 #[derive(Debug, Clone, Copy)]
@@ -62,8 +71,10 @@ impl Default for HarnessConfig {
 impl HarnessConfig {
     /// A fast smoke-test profile.
     pub fn quick() -> Self {
-        let mut c = HarnessConfig::default();
-        c.gen = GenConfig { scale: 0.001, min_len: 300, seed: 42 };
+        let mut c = HarnessConfig {
+            gen: GenConfig { scale: 0.001, min_len: 300, seed: 42 },
+            ..HarnessConfig::default()
+        };
         c.neural.epochs = 2;
         c.tranad.epochs = 2;
         c
@@ -133,11 +144,11 @@ pub fn smooth(scores: Vec<Vec<f64>>, width: usize) -> Vec<Vec<f64>> {
     let m = scores[0].len();
     let mut out = scores.clone();
     for d in 0..m {
-        for t in 0..n {
+        for (t, row) in out.iter_mut().enumerate() {
             let lo = t.saturating_sub(half);
             let hi = (t + half).min(n - 1);
             let sum: f64 = (lo..=hi).map(|i| scores[i][d]).sum();
-            out[t][d] = sum / (hi - lo + 1) as f64;
+            row[d] = sum / (hi - lo + 1) as f64;
         }
     }
     out

@@ -9,11 +9,11 @@ use crate::results::{fmt4, render_table, save, score_matrix};
 use crate::runner::{
     evaluate_fitted, evaluate_method, pot_config, HarnessConfig, RunResult,
 };
-use serde::{Deserialize, Serialize};
 use tranad::detect_aggregate;
 use tranad_baselines::{Detector, Merlin, MerlinConfig};
 use tranad_data::{generate, limited_data_subsets, Dataset, DatasetKind};
 use tranad_metrics::{diagnose, evaluate};
+use tranad_tensor::pool;
 
 /// Datasets used in a run (defaults to all nine).
 pub fn datasets(cfg: &HarnessConfig, filter: &[DatasetKind]) -> Vec<Dataset> {
@@ -53,20 +53,30 @@ pub fn table1(cfg: &HarnessConfig) -> String {
 }
 
 /// Runs a methods × datasets grid with full training data (no caching).
+///
+/// Grid cells are independent (each builds its own detector), so they run
+/// on the global thread pool; `progress` is replayed serially afterwards in
+/// the same deterministic (dataset, method) order as a serial run.
 pub fn run_grid(
     cfg: &HarnessConfig,
     dataset_filter: &[DatasetKind],
     methods: &[Method],
     mut progress: impl FnMut(&RunResult),
 ) -> Vec<RunResult> {
-    let mut results = Vec::new();
-    for ds in datasets(cfg, dataset_filter) {
-        for &method in methods {
-            let mut det = method.build(cfg);
-            let r = evaluate_method(det.as_mut(), &ds);
-            progress(&r);
-            results.push(r);
-        }
+    let dss = datasets(cfg, dataset_filter);
+    let cells: Vec<(usize, Method)> = (0..dss.len())
+        .flat_map(|d| methods.iter().map(move |&m| (d, m)))
+        .collect();
+    let mut slots: Vec<Option<RunResult>> = cells.iter().map(|_| None).collect();
+    pool::parallel_chunks_mut(&mut slots, 1, |i, slot| {
+        let (d, method) = cells[i];
+        let mut det = method.build(cfg);
+        slot[0] = Some(evaluate_method(det.as_mut(), &dss[d]));
+    });
+    let results: Vec<RunResult> =
+        slots.into_iter().map(|r| r.expect("every grid cell ran")).collect();
+    for r in &results {
+        progress(r);
     }
     results
 }
@@ -121,7 +131,8 @@ pub fn table3(
     results
 }
 
-/// Runs the limited-data grid without caching.
+/// Runs the limited-data grid without caching. Cells run on the thread
+/// pool like [`run_grid`]; the per-cell subset loop stays serial.
 pub fn run_grid_limited(
     cfg: &HarnessConfig,
     dataset_filter: &[DatasetKind],
@@ -129,39 +140,47 @@ pub fn run_grid_limited(
     subsets: usize,
     mut progress: impl FnMut(&RunResult),
 ) -> Vec<RunResult> {
-    let mut results = Vec::new();
-    for ds in datasets(cfg, dataset_filter) {
-        for &method in methods {
-            let subs = limited_data_subsets(&ds.train, 0.2, ds.kind as u64 + 1);
-            let take = subsets.clamp(1, subs.len());
-            let mut acc = RunResult {
-                method: method.name().to_string(),
-                dataset: ds.kind.name().to_string(),
-                precision: 0.0,
-                recall: 0.0,
-                auc: 0.0,
-                f1: 0.0,
-                secs_per_epoch: 0.0,
-            };
-            for subset in subs.iter().take(take) {
-                let mut det = method.build(cfg);
-                let fit = det.fit(subset);
-                let r = evaluate_fitted(det.as_ref(), &ds, fit.seconds_per_epoch);
-                acc.precision += r.precision;
-                acc.recall += r.recall;
-                acc.auc += r.auc;
-                acc.f1 += r.f1;
-                acc.secs_per_epoch += r.secs_per_epoch;
-            }
-            let n = take as f64;
-            acc.precision /= n;
-            acc.recall /= n;
-            acc.auc /= n;
-            acc.f1 /= n;
-            acc.secs_per_epoch /= n;
-            progress(&acc);
-            results.push(acc);
+    let dss = datasets(cfg, dataset_filter);
+    let cells: Vec<(usize, Method)> = (0..dss.len())
+        .flat_map(|d| methods.iter().map(move |&m| (d, m)))
+        .collect();
+    let mut slots: Vec<Option<RunResult>> = cells.iter().map(|_| None).collect();
+    pool::parallel_chunks_mut(&mut slots, 1, |i, slot| {
+        let (d, method) = cells[i];
+        let ds = &dss[d];
+        let subs = limited_data_subsets(&ds.train, 0.2, ds.kind as u64 + 1);
+        let take = subsets.clamp(1, subs.len());
+        let mut acc = RunResult {
+            method: method.name().to_string(),
+            dataset: ds.kind.name().to_string(),
+            precision: 0.0,
+            recall: 0.0,
+            auc: 0.0,
+            f1: 0.0,
+            secs_per_epoch: 0.0,
+        };
+        for subset in subs.iter().take(take) {
+            let mut det = method.build(cfg);
+            let fit = det.fit(subset);
+            let r = evaluate_fitted(det.as_ref(), ds, fit.seconds_per_epoch);
+            acc.precision += r.precision;
+            acc.recall += r.recall;
+            acc.auc += r.auc;
+            acc.f1 += r.f1;
+            acc.secs_per_epoch += r.secs_per_epoch;
         }
+        let n = take as f64;
+        acc.precision /= n;
+        acc.recall /= n;
+        acc.auc /= n;
+        acc.f1 /= n;
+        acc.secs_per_epoch /= n;
+        slot[0] = Some(acc);
+    });
+    let results: Vec<RunResult> =
+        slots.into_iter().map(|r| r.expect("every grid cell ran")).collect();
+    for r in &results {
+        progress(r);
     }
     results
 }
@@ -180,7 +199,7 @@ pub fn render_table3(results: &[RunResult]) -> String {
 }
 
 /// One diagnosis row (Table 4).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DiagnosisRow {
     /// Method name.
     pub method: String,
@@ -195,6 +214,15 @@ pub struct DiagnosisRow {
     /// NDCG@150%.
     pub ndcg150: f64,
 }
+
+tranad_json::impl_json_struct!(DiagnosisRow {
+    method,
+    dataset,
+    hit100,
+    hit150,
+    ndcg100,
+    ndcg150,
+});
 
 /// Table 4: diagnosis performance (HitRate@P%, NDCG@P%) on the paper's two
 /// multivariate diagnosis datasets, SMD and MSDS.
@@ -262,8 +290,8 @@ pub fn table5(cfg: &HarnessConfig, results: &[RunResult]) -> String {
     let mut rows = Vec::new();
     for (mi, method) in methods.iter().enumerate() {
         let mut row = vec![method.clone()];
-        for di in 0..datasets.len() {
-            row.push(format!("{:.3}", matrix[di][mi]));
+        for col in matrix.iter().take(datasets.len()) {
+            row.push(format!("{:.3}", col[mi]));
         }
         rows.push(row);
     }
@@ -304,7 +332,7 @@ pub fn render_table6(full: &[RunResult], limited: &[RunResult]) -> String {
 }
 
 /// One Table 7 row: MERLIN reference vs. optimized implementation.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MerlinRow {
     /// Dataset name.
     pub dataset: String,
@@ -317,6 +345,14 @@ pub struct MerlinRow {
     /// Relative deviation `(ours - original) / original`.
     pub deviation: f64,
 }
+
+tranad_json::impl_json_struct!(MerlinRow {
+    dataset,
+    metric,
+    original,
+    ours,
+    deviation,
+});
 
 /// Table 7: MERLIN original-vs-reimplementation comparison. The paper's
 /// per-dataset (MinL, MaxL) grid-search values are reused directly.

@@ -2,44 +2,41 @@
 //! periodic waves, random walks, ECG-like pulse trains, and process-control
 //! dynamics (tank levels, actuator states).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use tranad_tensor::Rng;
 
 /// Seeded random source for signal generation.
 pub struct SignalRng {
-    rng: StdRng,
+    rng: Rng,
 }
 
 impl SignalRng {
     /// Creates a seeded source.
     pub fn new(seed: u64) -> Self {
-        SignalRng { rng: StdRng::seed_from_u64(seed) }
+        SignalRng { rng: Rng::new(seed) }
     }
 
     /// Uniform value in `[lo, hi)`.
     pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
-        self.rng.gen_range(lo..hi)
+        self.rng.range_f64(lo, hi)
     }
 
     /// Uniform integer in `[lo, hi)`.
     pub fn index(&mut self, lo: usize, hi: usize) -> usize {
-        self.rng.gen_range(lo..hi)
+        self.rng.range_usize(lo, hi)
     }
 
     /// Standard normal sample (Box–Muller).
     pub fn normal(&mut self) -> f64 {
-        let u1: f64 = self.rng.gen_range(f64::EPSILON..1.0);
-        let u2: f64 = self.rng.gen_range(0.0..1.0);
-        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+        self.rng.normal()
     }
 
     /// Bernoulli trial.
     pub fn chance(&mut self, p: f64) -> bool {
-        self.rng.gen::<f64>() < p
+        self.rng.chance(p)
     }
 
     /// Direct access to the underlying RNG.
-    pub fn rng(&mut self) -> &mut StdRng {
+    pub fn rng(&mut self) -> &mut Rng {
         &mut self.rng
     }
 }
@@ -245,7 +242,7 @@ mod tests {
         let s = ecg(&mut rng, 2_000, 50, 5.0, 0.05);
         let peaks = s.iter().filter(|&&v| v > 2.5).count();
         // Roughly one QRS spike per period.
-        assert!(peaks >= 25 && peaks <= 80, "peaks {peaks}");
+        assert!((25..=80).contains(&peaks), "peaks {peaks}");
     }
 
     #[test]

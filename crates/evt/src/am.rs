@@ -66,12 +66,11 @@ impl AnnualMaximum {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use tranad_tensor::Rng;
 
     fn uniform_scores(n: usize, seed: u64) -> Vec<f64> {
-        let mut rng = StdRng::seed_from_u64(seed);
-        (0..n).map(|_| rng.gen_range(0.0..1.0)).collect()
+        let mut rng = Rng::new(seed);
+        (0..n).map(|_| rng.range_f64(0.0, 1.0)).collect()
     }
 
     #[test]

@@ -158,15 +158,14 @@ fn find_roots(f: impl Fn(f64) -> f64, a: f64, b: f64, grid: usize) -> Vec<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use tranad_tensor::Rng;
 
     /// Samples from GPD(gamma, sigma) by inverse transform.
     fn sample_gpd(gamma: f64, sigma: f64, n: usize, seed: u64) -> Vec<f64> {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::new(seed);
         (0..n)
             .map(|_| {
-                let u: f64 = rng.gen_range(1e-12..1.0);
+                let u: f64 = rng.range_f64(1e-12, 1.0);
                 if gamma.abs() < 1e-12 {
                     -sigma * u.ln()
                 } else {

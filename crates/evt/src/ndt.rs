@@ -31,6 +31,10 @@ pub struct Ndt {
     pub threshold: f64,
     /// Selected multiplier z.
     pub z: f64,
+    /// Smoothing factor the threshold was selected under; [`Ndt::label`]
+    /// applies the same smoothing so errors are judged on the sequence the
+    /// threshold was calibrated for.
+    pub smoothing: f64,
 }
 
 impl Ndt {
@@ -42,11 +46,16 @@ impl Ndt {
         let mean = smoothed.iter().sum::<f64>() / n;
         let std = (smoothed.iter().map(|&e| (e - mean) * (e - mean)).sum::<f64>() / n).sqrt();
 
+        let smoothing = config.smoothing;
         if std < 1e-300 {
-            return Ndt { threshold: mean + mean.abs() * 0.01 + 1e-12, z: 0.0 };
+            return Ndt { threshold: mean + mean.abs() * 0.01 + 1e-12, z: 0.0, smoothing };
         }
 
-        let mut best = Ndt { threshold: mean + config.z_range.1 as f64 * std, z: config.z_range.1 as f64 };
+        let mut best = Ndt {
+            threshold: mean + config.z_range.1 as f64 * std,
+            z: config.z_range.1 as f64,
+            smoothing,
+        };
         let mut best_score = f64::NEG_INFINITY;
         for zi in config.z_range.0..=config.z_range.1 {
             let z = zi as f64;
@@ -66,15 +75,22 @@ impl Ndt {
             let score = (delta_mean + delta_std) / (e_a as f64 + (seqs * seqs) as f64);
             if score > best_score {
                 best_score = score;
-                best = Ndt { threshold: eps, z };
+                best = Ndt { threshold: eps, z, smoothing };
             }
         }
         best
     }
 
-    /// Labels each error against the selected threshold.
+    /// Labels each error against the selected threshold. The errors are
+    /// smoothed with the same factor used during [`Ndt::fit`] first — the
+    /// threshold is calibrated for the smoothed sequence `e_s`, so comparing
+    /// raw errors against it would flag transient spikes the selection never
+    /// saw (Hundman et al. threshold and label the same smoothed sequence).
     pub fn label(&self, errors: &[f64]) -> Vec<bool> {
-        errors.iter().map(|&e| e >= self.threshold).collect()
+        if errors.is_empty() {
+            return Vec::new();
+        }
+        ewma(errors, self.smoothing).iter().map(|&e| e >= self.threshold).collect()
     }
 }
 
@@ -110,8 +126,7 @@ fn count_sequences(values: &[f64], eps: f64) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use tranad_tensor::Rng;
 
     #[test]
     fn ewma_smooths() {
@@ -130,8 +145,8 @@ mod tests {
 
     #[test]
     fn separates_clear_anomalies() {
-        let mut rng = StdRng::seed_from_u64(1);
-        let mut errors: Vec<f64> = (0..2000).map(|_| rng.gen_range(0.0..0.1)).collect();
+        let mut rng = Rng::new(1);
+        let mut errors: Vec<f64> = (0..2000).map(|_| rng.range_f64(0.0, 0.1)).collect();
         for e in errors.iter_mut().skip(1000).take(5) {
             *e = 5.0;
         }

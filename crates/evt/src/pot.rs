@@ -116,15 +116,14 @@ pub fn quantile(values: &[f64], q: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use tranad_tensor::Rng;
 
     fn gaussian_scores(n: usize, seed: u64) -> Vec<f64> {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::new(seed);
         (0..n)
             .map(|_| {
-                let u1: f64 = rng.gen_range(1e-12..1.0);
-                let u2: f64 = rng.gen_range(0.0..1.0);
+                let u1: f64 = rng.range_f64(1e-12, 1.0);
+                let u2: f64 = rng.range_f64(0.0, 1.0);
                 (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
             })
             .collect()

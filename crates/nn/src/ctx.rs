@@ -3,18 +3,16 @@
 //! `backward`.
 
 use crate::param::{ParamId, ParamStore};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::cell::RefCell;
 use std::collections::HashMap;
-use tranad_tensor::{Tape, Tensor, Var};
+use tranad_tensor::{Rng, Tape, Tensor, Var};
 
 /// One forward/backward pass worth of state.
 pub struct Ctx<'a> {
     tape: Tape,
     store: &'a ParamStore,
     leaves: RefCell<HashMap<usize, Var>>,
-    rng: RefCell<StdRng>,
+    rng: RefCell<Rng>,
     /// Whether stochastic layers (dropout) are active.
     pub training: bool,
 }
@@ -26,7 +24,7 @@ impl<'a> Ctx<'a> {
             tape: Tape::new(),
             store,
             leaves: RefCell::new(HashMap::new()),
-            rng: RefCell::new(StdRng::seed_from_u64(seed)),
+            rng: RefCell::new(Rng::new(seed)),
             training: true,
         }
     }
@@ -69,7 +67,7 @@ impl<'a> Ctx<'a> {
         let mask = {
             let mut rng = self.rng.borrow_mut();
             Tensor::from_fn(x.shape(), |_| {
-                if rng.gen::<f64>() < keep {
+                if rng.next_f64() < keep {
                     1.0 / keep
                 } else {
                     0.0

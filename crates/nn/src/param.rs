@@ -4,9 +4,7 @@
 //! them as tape leaves via [`crate::ctx::Ctx::param`], and the optimizer
 //! writes updated values back into the store.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use tranad_tensor::{Shape, Tensor};
+use tranad_tensor::{Rng, Shape, Tensor};
 
 /// Opaque handle to one parameter tensor in a [`ParamStore`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -87,13 +85,13 @@ impl ParamStore {
 
 /// Deterministic initializer for model weights.
 pub struct Init {
-    rng: StdRng,
+    rng: Rng,
 }
 
 impl Init {
     /// A seeded initializer; the same seed yields identical models.
     pub fn with_seed(seed: u64) -> Self {
-        Init { rng: StdRng::seed_from_u64(seed) }
+        Init { rng: Rng::new(seed) }
     }
 
     /// Xavier/Glorot uniform initialization for a `[fan_in, fan_out]` matrix.
@@ -106,23 +104,18 @@ impl Init {
     pub fn uniform(&mut self, shape: impl Into<Shape>, lo: f64, hi: f64) -> Tensor {
         let shape = shape.into();
         let rng = &mut self.rng;
-        Tensor::from_fn(shape, |_| rng.gen_range(lo..hi))
+        Tensor::from_fn(shape, |_| rng.range_f64(lo, hi))
     }
 
     /// Standard-normal values scaled by `std`.
     pub fn normal(&mut self, shape: impl Into<Shape>, std: f64) -> Tensor {
         let shape = shape.into();
         let rng = &mut self.rng;
-        Tensor::from_fn(shape, |_| {
-            // Box–Muller transform.
-            let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
-            let u2: f64 = rng.gen_range(0.0..1.0);
-            (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos() * std
-        })
+        Tensor::from_fn(shape, |_| rng.normal() * std)
     }
 
     /// Access to the underlying RNG (e.g. for shuffling).
-    pub fn rng(&mut self) -> &mut StdRng {
+    pub fn rng(&mut self) -> &mut Rng {
         &mut self.rng
     }
 }

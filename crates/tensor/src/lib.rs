@@ -14,6 +14,11 @@
 //!   outside and are re-introduced as leaves.
 //! - [`check`]: finite-difference gradient checking used across the
 //!   workspace's tests.
+//! - [`pool`]: a from-scratch thread pool driving the matmul/elementwise
+//!   hot paths (`TRANAD_THREADS` to override sizing; results are bitwise
+//!   identical for any thread count).
+//! - [`rng`]: the workspace's seeded SplitMix64 generator (keeps the build
+//!   hermetic — no external `rand`).
 //!
 //! ## Example
 //!
@@ -30,10 +35,13 @@
 //! ```
 
 pub mod check;
+pub mod pool;
+pub mod rng;
 pub mod shape;
 pub mod tape;
 pub mod tensor;
 
+pub use rng::Rng;
 pub use shape::Shape;
 pub use tape::{Tape, Var};
 pub use tensor::Tensor;

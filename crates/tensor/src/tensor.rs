@@ -1,8 +1,17 @@
 //! Dense row-major `f64` tensors and the eager (non-differentiable) ops the
 //! autograd tape is built on.
 
+use crate::pool;
 use crate::shape::Shape;
 use std::fmt;
+
+/// Elementwise ops on tensors smaller than this stay serial: pool dispatch
+/// costs more than the loop itself.
+const ELEMENTWISE_CUTOFF: usize = 16 * 1024;
+/// Matmuls below this many multiply-adds (`n * k * m`) stay serial.
+const MATMUL_CUTOFF: usize = 64 * 64 * 64;
+/// Rows handed to one elementwise/softmax/transpose task.
+const ROW_GRAIN: usize = 64;
 
 /// A dense, row-major, heap-allocated `f64` tensor.
 #[derive(Clone, PartialEq)]
@@ -116,26 +125,50 @@ impl Tensor {
 
     // ---- elementwise helpers ----------------------------------------------
 
-    /// Applies `f` to every element, returning a new tensor.
-    pub fn map(&self, f: impl Fn(f64) -> f64) -> Tensor {
-        Tensor {
-            data: self.data.iter().map(|&v| f(v)).collect(),
-            shape: self.shape.clone(),
+    /// Applies `f` to every element, returning a new tensor. Large tensors
+    /// are processed in parallel chunks (each output element depends only
+    /// on its input element, so chunking never changes the result).
+    pub fn map(&self, f: impl Fn(f64) -> f64 + Sync) -> Tensor {
+        if self.numel() < ELEMENTWISE_CUTOFF {
+            return Tensor {
+                data: self.data.iter().map(|&v| f(v)).collect(),
+                shape: self.shape.clone(),
+            };
         }
+        let mut data = vec![0.0; self.numel()];
+        pool::parallel_chunks_mut(&mut data, ELEMENTWISE_CUTOFF, |start, chunk| {
+            let src = &self.data[start..start + chunk.len()];
+            for (o, &v) in chunk.iter_mut().zip(src) {
+                *o = f(v);
+            }
+        });
+        Tensor { data, shape: self.shape.clone() }
     }
 
-    /// Combines two same-shaped tensors elementwise.
-    pub fn zip(&self, other: &Tensor, f: impl Fn(f64, f64) -> f64) -> Tensor {
+    /// Combines two same-shaped tensors elementwise (parallel above the
+    /// size cutoff, like [`Tensor::map`]).
+    pub fn zip(&self, other: &Tensor, f: impl Fn(f64, f64) -> f64 + Sync) -> Tensor {
         assert_eq!(self.shape, other.shape, "zip shape mismatch");
-        Tensor {
-            data: self
-                .data
-                .iter()
-                .zip(&other.data)
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
-            shape: self.shape.clone(),
+        if self.numel() < ELEMENTWISE_CUTOFF {
+            return Tensor {
+                data: self
+                    .data
+                    .iter()
+                    .zip(&other.data)
+                    .map(|(&a, &b)| f(a, b))
+                    .collect(),
+                shape: self.shape.clone(),
+            };
         }
+        let mut data = vec![0.0; self.numel()];
+        pool::parallel_chunks_mut(&mut data, ELEMENTWISE_CUTOFF, |start, chunk| {
+            let a = &self.data[start..start + chunk.len()];
+            let b = &other.data[start..start + chunk.len()];
+            for ((o, &x), &y) in chunk.iter_mut().zip(a).zip(b) {
+                *o = f(x, y);
+            }
+        });
+        Tensor { data, shape: self.shape.clone() }
     }
 
     /// In-place `self += other` (same shape).
@@ -171,7 +204,7 @@ impl Tensor {
     // ---- binary ops with broadcasting -------------------------------------
 
     /// Elementwise binary op with NumPy-style broadcasting.
-    pub fn broadcast_zip(&self, other: &Tensor, f: impl Fn(f64, f64) -> f64) -> Tensor {
+    pub fn broadcast_zip(&self, other: &Tensor, f: impl Fn(f64, f64) -> f64 + Sync) -> Tensor {
         if self.shape == other.shape {
             return self.zip(other, f);
         }
@@ -252,8 +285,8 @@ impl Tensor {
         let t_rank = target.rank();
         let mut out = Tensor::zeros(target.clone());
         let t_strides = target.strides();
-        #[allow(clippy::needless_range_loop)] // stride arithmetic over dims
         let mut index = vec![0usize; rank];
+        #[allow(clippy::needless_range_loop)] // stride arithmetic over dims
         for &v in &self.data {
             // Map the broadcast index back onto the (possibly lower-rank,
             // possibly extent-1) target index.
@@ -288,7 +321,25 @@ impl Tensor {
                 let (k2, m) = (rhs.shape.dim(0), rhs.shape.dim(1));
                 assert_eq!(k, k2, "matmul inner dim: {} vs {}", self.shape, rhs.shape);
                 let mut out = vec![0.0; n * m];
-                matmul_kernel(&self.data, &rhs.data, &mut out, n, k, m);
+                if n * k * m < MATMUL_CUTOFF {
+                    matmul_kernel(&self.data, &rhs.data, &mut out, n, k, m);
+                } else {
+                    // Row-blocks of the output: each task owns rows
+                    // `[r0, r1)` of `out` and reads the same rows of `a`.
+                    let row_grain = (MATMUL_CUTOFF / (k * m)).max(1);
+                    pool::parallel_chunks_mut(&mut out, row_grain * m, |start, chunk| {
+                        let r0 = start / m;
+                        let rows = chunk.len() / m;
+                        matmul_kernel(
+                            &self.data[r0 * k..(r0 + rows) * k],
+                            &rhs.data,
+                            chunk,
+                            rows,
+                            k,
+                            m,
+                        );
+                    });
+                }
                 Tensor::from_vec(out, [n, m])
             }
             (3, 2) => {
@@ -296,16 +347,7 @@ impl Tensor {
                 let (k2, m) = (rhs.shape.dim(0), rhs.shape.dim(1));
                 assert_eq!(k, k2, "matmul inner dim: {} vs {}", self.shape, rhs.shape);
                 let mut out = vec![0.0; b * n * m];
-                for bi in 0..b {
-                    matmul_kernel(
-                        &self.data[bi * n * k..(bi + 1) * n * k],
-                        &rhs.data,
-                        &mut out[bi * n * m..(bi + 1) * n * m],
-                        n,
-                        k,
-                        m,
-                    );
-                }
+                batched_matmul(&self.data, None, &mut out, b, n, k, m, &rhs.data);
                 Tensor::from_vec(out, [b, n, m])
             }
             (3, 3) => {
@@ -314,16 +356,7 @@ impl Tensor {
                 assert_eq!(b, b2, "matmul batch dim: {} vs {}", self.shape, rhs.shape);
                 assert_eq!(k, k2, "matmul inner dim: {} vs {}", self.shape, rhs.shape);
                 let mut out = vec![0.0; b * n * m];
-                for bi in 0..b {
-                    matmul_kernel(
-                        &self.data[bi * n * k..(bi + 1) * n * k],
-                        &rhs.data[bi * k * m..(bi + 1) * k * m],
-                        &mut out[bi * n * m..(bi + 1) * n * m],
-                        n,
-                        k,
-                        m,
-                    );
-                }
+                batched_matmul(&self.data, Some(k * m), &mut out, b, n, k, m, &rhs.data);
                 Tensor::from_vec(out, [b, n, m])
             }
             _ => panic!(
@@ -333,47 +366,63 @@ impl Tensor {
         }
     }
 
-    /// Swaps the last two dimensions, materializing the result.
+    /// Swaps the last two dimensions, materializing the result. Batched
+    /// inputs transpose their `[n, m]` planes in parallel.
     pub fn transpose(&self) -> Tensor {
         let rank = self.shape.rank();
         assert!(rank >= 2, "transpose requires rank >= 2, got {}", self.shape);
         let out_shape = self.shape.transposed();
         let n = self.shape.dim(rank - 2);
         let m = self.shape.dim(rank - 1);
-        let batch = self.numel() / (n * m);
+        let plane = n * m;
         let mut data = vec![0.0; self.numel()];
-        for b in 0..batch {
-            let src = &self.data[b * n * m..(b + 1) * n * m];
-            let dst = &mut data[b * n * m..(b + 1) * n * m];
+        let transpose_plane = |b: usize, dst: &mut [f64]| {
+            let src = &self.data[b * plane..(b + 1) * plane];
             for i in 0..n {
                 for j in 0..m {
                     dst[j * n + i] = src[i * m + j];
                 }
             }
+        };
+        if self.numel() < ELEMENTWISE_CUTOFF {
+            for (b, dst) in data.chunks_mut(plane).enumerate() {
+                transpose_plane(b, dst);
+            }
+        } else {
+            pool::parallel_chunks_mut(&mut data, plane, |start, chunk| {
+                transpose_plane(start / plane, chunk);
+            });
         }
         Tensor { data, shape: out_shape }
     }
 
-    /// Softmax over the last dimension.
+    /// Softmax over the last dimension. Rows are independent, so row blocks
+    /// run in parallel above the size cutoff.
     pub fn softmax_last(&self) -> Tensor {
         let m = self.shape.last_dim();
         assert!(m > 0, "softmax over empty dim");
-        let rows = self.numel() / m;
         let mut data = vec![0.0; self.numel()];
-        for r in 0..rows {
-            let row = &self.data[r * m..(r + 1) * m];
-            let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-            let out = &mut data[r * m..(r + 1) * m];
-            let mut sum = 0.0;
-            for (o, &v) in out.iter_mut().zip(row) {
-                // If the whole row is -inf (fully masked), fall back to uniform.
-                let e = if max == f64::NEG_INFINITY { 1.0 } else { (v - max).exp() };
-                *o = e;
-                sum += e;
+        let softmax_rows = |start: usize, out_rows: &mut [f64]| {
+            for (r, out) in out_rows.chunks_mut(m).enumerate() {
+                let base = start + r * m;
+                let row = &self.data[base..base + m];
+                let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                let mut sum = 0.0;
+                for (o, &v) in out.iter_mut().zip(row) {
+                    // If the whole row is -inf (fully masked), fall back to uniform.
+                    let e = if max == f64::NEG_INFINITY { 1.0 } else { (v - max).exp() };
+                    *o = e;
+                    sum += e;
+                }
+                for o in out.iter_mut() {
+                    *o /= sum;
+                }
             }
-            for o in out.iter_mut() {
-                *o /= sum;
-            }
+        };
+        if self.numel() < ELEMENTWISE_CUTOFF {
+            softmax_rows(0, &mut data);
+        } else {
+            pool::parallel_chunks_mut(&mut data, ROW_GRAIN * m, softmax_rows);
         }
         Tensor { data, shape: self.shape.clone() }
     }
@@ -443,19 +492,59 @@ impl Tensor {
 
 /// Naive-but-cache-friendly `out[n,m] += a[n,k] * b[k,m]` (out starts zeroed).
 /// Iterating `i, l, j` keeps the inner loop contiguous over both `b` and `out`.
+///
+/// Deliberately no `a_il == 0.0` shortcut: skipping a row would turn
+/// `0 * NaN` and `0 * inf` into `0`, silently masking non-finite values
+/// (e.g. a NaN gradient flowing through masked attention) instead of
+/// propagating them IEEE-754-style.
 fn matmul_kernel(a: &[f64], b: &[f64], out: &mut [f64], n: usize, k: usize, m: usize) {
     for i in 0..n {
         let a_row = &a[i * k..(i + 1) * k];
         let out_row = &mut out[i * m..(i + 1) * m];
         for (l, &a_il) in a_row.iter().enumerate() {
-            if a_il == 0.0 {
-                continue;
-            }
             let b_row = &b[l * m..(l + 1) * m];
             for (o, &b_lj) in out_row.iter_mut().zip(b_row) {
                 *o += a_il * b_lj;
             }
         }
+    }
+}
+
+/// `[b, n, k] x [k, m]` (shared rhs, `rhs_stride = None`) or
+/// `[b, n, k] x [b, k, m]` (`rhs_stride = Some(k * m)`), parallel over the
+/// batch dimension above the work cutoff. Each task owns one batch's
+/// output plane, so results never depend on the thread count.
+#[allow(clippy::too_many_arguments)] // one shared kernel for both batched forms
+fn batched_matmul(
+    a: &[f64],
+    rhs_stride: Option<usize>,
+    out: &mut [f64],
+    b: usize,
+    n: usize,
+    k: usize,
+    m: usize,
+    rhs: &[f64],
+) {
+    let plane = n * m;
+    let kernel_one = |bi: usize, dst: &mut [f64]| {
+        let rhs_base = rhs_stride.map_or(0, |s| bi * s);
+        matmul_kernel(
+            &a[bi * n * k..(bi + 1) * n * k],
+            &rhs[rhs_base..rhs_base + k * m],
+            dst,
+            n,
+            k,
+            m,
+        );
+    };
+    if b * n * k * m < MATMUL_CUTOFF {
+        for (bi, dst) in out.chunks_mut(plane).enumerate() {
+            kernel_one(bi, dst);
+        }
+    } else {
+        pool::parallel_chunks_mut(out, plane, |start, chunk| {
+            kernel_one(start / plane, chunk);
+        });
     }
 }
 
@@ -559,6 +648,53 @@ mod tests {
         // batch 1: 2*I * [[5,6],[7,8]]
         assert_eq!(c.at(&[1, 0, 0]), 10.0);
         assert_eq!(c.at(&[1, 1, 1]), 16.0);
+    }
+
+    #[test]
+    fn matmul_propagates_nan_through_zero_rows() {
+        // Regression: the old kernel skipped `a_il == 0.0`, turning
+        // 0 * NaN into 0 and hiding NaNs behind masked attention weights.
+        let a = t2(&[&[0.0, 1.0], &[0.0, 0.0]]);
+        let b = t2(&[&[f64::NAN, 2.0], &[3.0, 4.0]]);
+        let c = a.matmul(&b);
+        assert!(c.at(&[0, 0]).is_nan(), "0 * NaN must stay NaN");
+        assert!(c.at(&[1, 0]).is_nan());
+        assert_eq!(c.at(&[1, 1]), 0.0); // NaN-free column is untouched
+        let inf = Tensor::full([2, 2], f64::INFINITY);
+        let z = Tensor::zeros([2, 2]);
+        assert!(z.matmul(&inf).data().iter().all(|v| v.is_nan()), "0 * inf must be NaN");
+    }
+
+    #[test]
+    fn parallel_matmul_matches_serial_bitwise() {
+        // Big enough to cross MATMUL_CUTOFF in both the 2-d and batched
+        // paths; serial (1 thread) and parallel results must be identical.
+        let a = Tensor::from_fn([80, 70], |i| ((i * 37 % 101) as f64 - 50.0) * 0.013);
+        let b = Tensor::from_fn([70, 90], |i| ((i * 53 % 97) as f64 - 48.0) * 0.017);
+        let serial = crate::pool::with_threads(1, || a.matmul(&b));
+        assert_eq!(a.matmul(&b).data(), serial.data());
+
+        let ba = Tensor::from_fn([6, 40, 50], |i| ((i * 29 % 89) as f64 - 44.0) * 0.011);
+        let bb = Tensor::from_fn([6, 50, 45], |i| ((i * 31 % 83) as f64 - 41.0) * 0.009);
+        let serial = crate::pool::with_threads(1, || ba.matmul(&bb));
+        assert_eq!(ba.matmul(&bb).data(), serial.data());
+    }
+
+    #[test]
+    fn parallel_elementwise_matches_serial_bitwise() {
+        let t = Tensor::from_fn([600, 80], |i| ((i % 211) as f64 - 105.0) * 0.03);
+        let serial = crate::pool::with_threads(1, || {
+            (
+                t.map(|v| v.tanh()),
+                t.zip(&t, |a, b| a * b + 0.5),
+                t.softmax_last(),
+                t.transpose(),
+            )
+        });
+        assert_eq!(t.map(|v| v.tanh()).data(), serial.0.data());
+        assert_eq!(t.zip(&t, |a, b| a * b + 0.5).data(), serial.1.data());
+        assert_eq!(t.softmax_last().data(), serial.2.data());
+        assert_eq!(t.transpose().data(), serial.3.data());
     }
 
     #[test]

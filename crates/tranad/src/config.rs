@@ -5,7 +5,7 @@
 /// Defaults follow the paper: window size 10, 1 transformer encoder layer,
 /// 2 feed-forward layers with 64 hidden units, dropout 0.1, AdamW with lr
 /// 0.01 (meta lr 0.02) and a step scheduler with factor 0.5.
-#[derive(Debug, Clone, Copy, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct TranadConfig {
     /// Local context window length `K`.
     pub window: usize,
@@ -136,9 +136,50 @@ impl TranadConfig {
     }
 }
 
+tranad_json::impl_json_struct!(TranadConfig {
+    window,
+    context,
+    ff_hidden,
+    dropout,
+    max_heads,
+    lr,
+    meta_lr,
+    lr_step,
+    epochs,
+    batch_size,
+    epsilon,
+    patience,
+    max_windows_per_epoch,
+    seed,
+    use_transformer,
+    self_conditioning,
+    adversarial,
+    maml,
+    bidirectional,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tranad_json::{FromJson, ToJson};
+
+    #[test]
+    fn config_json_roundtrip() {
+        let c = TranadConfig { seed: 9, window: 12, dropout: 0.25, maml: false, ..Default::default() };
+        let text = c.to_json().to_string();
+        let back = TranadConfig::from_json(&tranad_json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.seed, 9);
+        assert_eq!(back.window, 12);
+        assert_eq!(back.dropout, 0.25);
+        assert!(!back.maml);
+        assert_eq!(back.max_windows_per_epoch, usize::MAX);
+    }
+
+    #[test]
+    fn config_json_missing_field_errors() {
+        let v = tranad_json::parse(r#"{"window": 10}"#).unwrap();
+        assert!(TranadConfig::from_json(&v).is_err());
+    }
 
     #[test]
     fn defaults_match_paper() {

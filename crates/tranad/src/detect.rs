@@ -5,6 +5,7 @@
 use crate::train::TrainedTranad;
 use tranad_data::TimeSeries;
 use tranad_evt::{PotConfig, Spot};
+use tranad_tensor::pool;
 
 /// Detection output for a test series.
 #[derive(Debug, Clone)]
@@ -50,15 +51,23 @@ pub fn detect_from_scores(
     // One streaming SPOT per dimension: initialized on the nominal
     // (training) score distribution, adapting on non-alarm test scores so
     // slow regime drift does not flood the detector with false positives.
-    let mut thresholds = Vec::with_capacity(m);
-    let mut dim_labels = vec![vec![false; m]; test_scores.len()];
-    for d in 0..m {
+    // Dimensions are independent, so they run on the thread pool; each
+    // dimension's SPOT walk stays sequential, so the result is identical
+    // for any thread count.
+    let mut per_dim: Vec<(Vec<bool>, f64)> = vec![(Vec::new(), 0.0); m];
+    pool::parallel_chunks_mut(&mut per_dim, 1, |d, slot| {
         let calib: Vec<f64> = calibration_scores.iter().map(|r| r[d]).collect();
         let mut spot = Spot::init(&calib, pot);
-        for (t, row) in test_scores.iter().enumerate() {
-            dim_labels[t][d] = spot.step(row[d]);
+        let labels: Vec<bool> = test_scores.iter().map(|row| spot.step(row[d])).collect();
+        slot[0] = (labels, spot.threshold);
+    });
+    let mut thresholds = Vec::with_capacity(m);
+    let mut dim_labels = vec![vec![false; m]; test_scores.len()];
+    for (d, (labels, threshold)) in per_dim.into_iter().enumerate() {
+        for (t, l) in labels.into_iter().enumerate() {
+            dim_labels[t][d] = l;
         }
-        thresholds.push(spot.threshold);
+        thresholds.push(threshold);
     }
     let labels: Vec<bool> = dim_labels.iter().map(|row| row.iter().any(|&b| b)).collect();
     let aggregate: Vec<f64> = test_scores
@@ -132,7 +141,7 @@ mod tests {
         let calib: Vec<Vec<f64>> = (0..3000)
             .map(|t| vec![(t % 10) as f64 * 0.01, (t % 10) as f64 * 1.0])
             .collect();
-        let det = detect_from_scores(&calib, &calib[..10].to_vec(), PotConfig::default());
+        let det = detect_from_scores(&calib, &calib[..10], PotConfig::default());
         assert!(det.thresholds[1] > det.thresholds[0] * 10.0);
     }
 }

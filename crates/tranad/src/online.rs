@@ -144,7 +144,7 @@ mod tests {
         let col: Vec<f64> = (0..60)
             .map(|t| (t as f64 / 9.0).sin() + 0.05 * rng.normal())
             .collect();
-        let series = TimeSeries::from_columns(&[col.clone()]);
+        let series = TimeSeries::from_columns(std::slice::from_ref(&col));
         let batch_scores = trained.score_series(&series);
 
         let mut online = OnlineDetector::new(&trained, PotConfig::default());

@@ -9,14 +9,13 @@
 use crate::config::TranadConfig;
 use crate::model::TranadModel;
 use crate::train::TrainedTranad;
-use serde::{Deserialize, Serialize};
 use std::path::Path;
 use tranad_data::Normalizer;
 use tranad_nn::{Init, ParamStore};
+use tranad_json::{FromJson, ToJson};
 use tranad_tensor::Tensor;
 
 /// Serializable snapshot of a trained detector.
-#[derive(Serialize, Deserialize)]
 struct SavedModel {
     format_version: u32,
     config: TranadConfig,
@@ -36,7 +35,7 @@ pub enum PersistError {
     /// Filesystem failure.
     Io(std::io::Error),
     /// JSON encode/decode failure.
-    Json(serde_json::Error),
+    Json(tranad_json::JsonError),
     /// The file's structure does not match the configuration.
     Corrupt(String),
 }
@@ -59,11 +58,21 @@ impl From<std::io::Error> for PersistError {
     }
 }
 
-impl From<serde_json::Error> for PersistError {
-    fn from(e: serde_json::Error) -> Self {
+impl From<tranad_json::JsonError> for PersistError {
+    fn from(e: tranad_json::JsonError) -> Self {
         PersistError::Json(e)
     }
 }
+
+tranad_json::impl_json_struct!(SavedModel {
+    format_version,
+    config,
+    dims,
+    normalizer_mins,
+    normalizer_ranges,
+    params,
+    train_scores,
+});
 
 impl TrainedTranad {
     /// Saves the detector to a JSON file.
@@ -84,14 +93,14 @@ impl TrainedTranad {
             params,
             train_scores: self.train_scores.clone(),
         };
-        std::fs::write(path, serde_json::to_string(&saved)?)?;
+        std::fs::write(path, saved.to_json().to_string())?;
         Ok(())
     }
 
     /// Loads a detector from a JSON file written by [`TrainedTranad::save`].
     pub fn load(path: impl AsRef<Path>) -> Result<TrainedTranad, PersistError> {
         let text = std::fs::read_to_string(path)?;
-        let saved: SavedModel = serde_json::from_str(&text)?;
+        let saved = SavedModel::from_json(&tranad_json::parse(&text)?)?;
         if saved.format_version != FORMAT_VERSION {
             return Err(PersistError::Corrupt(format!(
                 "format version {} (expected {FORMAT_VERSION})",

@@ -257,9 +257,15 @@ impl TrainedTranad {
         let windows = Windows::new(normalized.clone(), config.window);
         let m = normalized.dims();
         let k = config.window;
-        let mut scores = Vec::with_capacity(windows.len());
+        // Batches are independent eval-mode forward passes, so they run on
+        // the thread pool. Batch boundaries depend only on the series
+        // length and batch size — never on the thread count — so scores
+        // are identical for any pool size.
         let all: Vec<usize> = (0..windows.len()).collect();
-        for batch in all.chunks(config.batch_size.max(1)) {
+        let chunks: Vec<&[usize]> = all.chunks(config.batch_size.max(1)).collect();
+        let mut slots: Vec<Vec<Vec<f64>>> = vec![Vec::new(); chunks.len()];
+        tranad_tensor::pool::parallel_chunks_mut(&mut slots, 1, |ci, slot| {
+            let batch = chunks[ci];
             let ctx = Ctx::eval(&self.store);
             let w = ctx.input(windows.batch(batch));
             let c = ctx.input(windows.context_batch(batch, config.context));
@@ -267,6 +273,7 @@ impl TrainedTranad {
             let o1 = out.o1.value();
             let o2h = out.o2_hat.value();
             let wv = w.value();
+            let mut rows = Vec::with_capacity(batch.len());
             for (bi, _) in batch.iter().enumerate() {
                 // Score only the window's final row — the current timestamp.
                 let base = (bi * k + (k - 1)) * m;
@@ -278,10 +285,11 @@ impl TrainedTranad {
                         0.5 * e1 * e1 + 0.5 * e2 * e2
                     })
                     .collect();
-                scores.push(row_scores);
+                rows.push(row_scores);
             }
-        }
-        scores
+            slot[0] = rows;
+        });
+        slots.into_iter().flatten().collect()
     }
 
     /// Per-dimension anomaly scores for a raw series (normalizes first).

@@ -1,0 +1,70 @@
+//! Thread-count independence: the thread pool must not change any numeric
+//! result. Training losses, anomaly scores and POT thresholds are compared
+//! bitwise between a fully serial run (`with_threads(1)`) and a run capped
+//! at 8 threads — chunk boundaries depend only on problem sizes, every task
+//! writes disjoint output, and no reduction crosses task boundaries, so the
+//! two runs must agree exactly on any machine.
+
+use tranad::{train, PotConfig, TranadConfig};
+use tranad_data::{SignalRng, TimeSeries};
+use tranad_tensor::pool;
+
+fn toy_series(len: usize, dims: usize, seed: u64) -> TimeSeries {
+    let mut rng = SignalRng::new(seed);
+    let cols: Vec<Vec<f64>> = (0..dims)
+        .map(|d| {
+            (0..len)
+                .map(|t| (t as f64 / (6.0 + d as f64)).sin() + 0.05 * rng.normal())
+                .collect()
+        })
+        .collect();
+    TimeSeries::from_columns(&cols)
+}
+
+fn fast_config() -> TranadConfig {
+    TranadConfig {
+        epochs: 2,
+        window: 6,
+        context: 12,
+        ff_hidden: 16,
+        dropout: 0.1,
+        batch_size: 32,
+        ..TranadConfig::default()
+    }
+}
+
+#[test]
+fn training_and_detection_identical_across_thread_counts() {
+    let series = toy_series(280, 3, 21);
+    let test = toy_series(120, 3, 22);
+    let config = fast_config();
+
+    let (serial_losses, serial_scores, serial_thresholds) = pool::with_threads(1, || {
+        let (trained, report) = train(&series, config);
+        let det = trained.detect(&test, PotConfig::default());
+        (report.train_losses, det.scores, det.thresholds)
+    });
+
+    let (par_losses, par_scores, par_thresholds) = pool::with_threads(8, || {
+        let (trained, report) = train(&series, config);
+        let det = trained.detect(&test, PotConfig::default());
+        (report.train_losses, det.scores, det.thresholds)
+    });
+
+    // Bitwise equality — not approximate: the pool must not reorder any
+    // floating-point reduction.
+    assert_eq!(serial_losses, par_losses, "train losses diverged");
+    assert_eq!(serial_scores, par_scores, "anomaly scores diverged");
+    assert_eq!(serial_thresholds, par_thresholds, "POT thresholds diverged");
+}
+
+#[test]
+fn scoring_identical_across_thread_counts() {
+    let series = toy_series(260, 2, 31);
+    let config = fast_config();
+    let (trained, _) = pool::with_threads(1, || train(&series, config));
+
+    let serial = pool::with_threads(1, || trained.score_series(&series));
+    let parallel = pool::with_threads(8, || trained.score_series(&series));
+    assert_eq!(serial, parallel);
+}

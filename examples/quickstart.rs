@@ -35,10 +35,10 @@ fn main() {
     // 3. Corrupt a copy of the series: a level shift in dimension 1.
     let mut test = train_series.clone();
     let mut truth = vec![false; test.len()];
-    for t in 400..420 {
+    for (t, flag) in truth.iter_mut().enumerate().take(420).skip(400) {
         let v = test.get(t, 1);
         test.set(t, 1, v + 2.0);
-        truth[t] = true;
+        *flag = true;
     }
 
     // 4. Detect (Algorithm 2: two-phase inference + POT thresholds).

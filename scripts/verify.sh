@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full offline verification: build, test, lint. This is the gate every
+# change must pass; it runs with the network forbidden to prove the
+# workspace has zero external dependencies.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "==> cargo build --release (offline)"
+cargo build --release --workspace
+
+echo "==> cargo test (offline)"
+cargo test --workspace -q
+
+echo "==> cargo clippy -D warnings (all targets)"
+cargo clippy --workspace --all-targets -q -- -D warnings
+
+echo "==> verify OK"

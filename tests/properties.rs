@@ -1,150 +1,200 @@
-//! Property-based tests (proptest) over the core invariants the paper's
-//! pipeline depends on: autograd correctness, preprocessing bounds,
-//! thresholding monotonicity, and evaluation-protocol laws.
+//! Property-based tests over the core invariants the paper's pipeline
+//! depends on: autograd correctness, preprocessing bounds, thresholding
+//! monotonicity, and evaluation-protocol laws.
+//!
+//! Cases are generated with the workspace's own seeded [`Rng`] (no
+//! `proptest` dependency): each property runs over dozens of random
+//! inputs, and assertion messages carry the case number / seed.
 
-use proptest::prelude::*;
 use tranad_data::{Normalizer, TimeSeries, Windows};
 use tranad_evt::{Pot, PotConfig};
 use tranad_metrics::{point_adjust, roc_auc, Confusion};
 use tranad_tensor::check::check_gradients;
-use tranad_tensor::{Tape, Tensor};
+use tranad_tensor::{Rng, Tape, Tensor};
 
-fn finite_vec(len: usize) -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(-100.0..100.0f64, len)
+const CASES: u64 = 64;
+
+fn random_vec(rng: &mut Rng, n: usize, lo: f64, hi: f64) -> Vec<f64> {
+    (0..n).map(|_| rng.range_f64(lo, hi)).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn random_bools(rng: &mut Rng, n: usize) -> Vec<bool> {
+    (0..n).map(|_| rng.chance(0.5)).collect()
+}
 
-    // ---- autograd ---------------------------------------------------------
+// ---- autograd ---------------------------------------------------------
 
-    #[test]
-    fn autograd_matches_numeric_gradient(values in prop::collection::vec(-2.0..2.0f64, 6)) {
-        let x = Tensor::from_vec(values, [2, 3]);
+#[test]
+fn autograd_matches_numeric_gradient() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(case);
+        let x = Tensor::from_vec(random_vec(&mut rng, 6, -2.0, 2.0), [2, 3]);
         let checks = check_gradients(&[x], 1e-5, |_t, v| {
             v[0].sigmoid().mul(&v[0]).add_scalar(0.3).square().mean_all()
         });
-        prop_assert!(checks[0].max_rel_diff < 1e-3 || checks[0].max_abs_diff < 1e-6);
+        assert!(
+            checks[0].max_rel_diff < 1e-3 || checks[0].max_abs_diff < 1e-6,
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn softmax_rows_always_sum_to_one(values in prop::collection::vec(-50.0..50.0f64, 12)) {
-        let x = Tensor::from_vec(values, [3, 4]);
+#[test]
+fn softmax_rows_always_sum_to_one() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(case);
+        let x = Tensor::from_vec(random_vec(&mut rng, 12, -50.0, 50.0), [3, 4]);
         let s = x.softmax_last();
         for r in 0..3 {
             let sum: f64 = (0..4).map(|c| s.at(&[r, c])).sum();
-            prop_assert!((sum - 1.0).abs() < 1e-9, "row {r} sums to {sum}");
+            assert!((sum - 1.0).abs() < 1e-9, "case {case}: row {r} sums to {sum}");
         }
     }
+}
 
-    #[test]
-    fn matmul_grad_shapes_match_inputs(n in 1usize..4, k in 1usize..4, m in 1usize..4) {
+#[test]
+fn matmul_grad_shapes_match_inputs() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(case);
+        let (n, k, m) = (
+            rng.range_usize(1, 4),
+            rng.range_usize(1, 4),
+            rng.range_usize(1, 4),
+        );
         let tape = Tape::new();
         let a = tape.leaf(Tensor::from_fn([n, k], |i| (i as f64 * 0.31).sin()));
         let b = tape.leaf(Tensor::from_fn([k, m], |i| (i as f64 * 0.17).cos()));
         a.matmul(&b).sum_all().backward();
-        let ga = a.grad();
-        let gb = b.grad();
-        prop_assert_eq!(ga.shape().dims(), &[n, k]);
-        prop_assert_eq!(gb.shape().dims(), &[k, m]);
+        assert_eq!(a.grad().shape().dims(), &[n, k], "case {case}");
+        assert_eq!(b.grad().shape().dims(), &[k, m], "case {case}");
     }
+}
 
-    // ---- preprocessing -----------------------------------------------------
+// ---- preprocessing -----------------------------------------------------
 
-    #[test]
-    fn normalizer_maps_training_data_into_unit_band(values in finite_vec(30)) {
-        let series = TimeSeries::from_columns(&[values]);
+#[test]
+fn normalizer_maps_training_data_into_unit_band() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(case);
+        let series = TimeSeries::from_columns(&[random_vec(&mut rng, 30, -100.0, 100.0)]);
         let norm = Normalizer::fit(&series);
         let out = norm.transform(&series);
-        prop_assert!(out.data().iter().all(|&v| (0.0..1.0).contains(&v)));
+        assert!(
+            out.data().iter().all(|&v| (0.0..1.0).contains(&v)),
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn windows_tail_equals_series_row(values in finite_vec(40), k in 1usize..12) {
-        let series = TimeSeries::from_columns(&[values.clone()]);
+#[test]
+fn windows_tail_equals_series_row() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(case);
+        let values = random_vec(&mut rng, 40, -100.0, 100.0);
+        let k = rng.range_usize(1, 12);
+        let series = TimeSeries::from_columns(std::slice::from_ref(&values));
         let windows = Windows::new(series, k);
-        for t in 0..values.len() {
+        for (t, &v) in values.iter().enumerate() {
             let w = windows.window(t);
             // The final row of window t is always x_t.
-            prop_assert_eq!(w.at(&[k - 1, 0]), values[t]);
+            assert_eq!(w.at(&[k - 1, 0]), v, "case {case}: t {t}");
         }
     }
+}
 
-    #[test]
-    fn window_batch_is_concatenation(values in finite_vec(25)) {
-        let series = TimeSeries::from_columns(&[values]);
+#[test]
+fn window_batch_is_concatenation() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(case);
+        let series = TimeSeries::from_columns(&[random_vec(&mut rng, 25, -100.0, 100.0)]);
         let windows = Windows::new(series, 5);
         let batch = windows.batch(&[3, 17]);
         let w3 = windows.window(3);
         let w17 = windows.window(17);
-        prop_assert_eq!(&batch.data()[..5], w3.data());
-        prop_assert_eq!(&batch.data()[5..], w17.data());
+        assert_eq!(&batch.data()[..5], w3.data(), "case {case}");
+        assert_eq!(&batch.data()[5..], w17.data(), "case {case}");
     }
+}
 
-    // ---- thresholding ------------------------------------------------------
+// ---- thresholding ------------------------------------------------------
 
-    #[test]
-    fn pot_threshold_monotone_in_risk(seed in 0u64..50) {
+#[test]
+fn pot_threshold_monotone_in_risk() {
+    for seed in 0..50u64 {
         let mut rng = tranad_data::SignalRng::new(seed);
         let scores: Vec<f64> = (0..3000).map(|_| rng.normal().abs()).collect();
         let strict = Pot::fit(&scores, PotConfig { q: 1e-5, level: 0.05 }).threshold;
         let loose = Pot::fit(&scores, PotConfig { q: 1e-2, level: 0.05 }).threshold;
-        prop_assert!(strict >= loose, "strict {strict} < loose {loose}");
+        assert!(strict >= loose, "seed {seed}: strict {strict} < loose {loose}");
     }
+}
 
-    #[test]
-    fn pot_flags_nothing_below_initial_threshold(seed in 0u64..50) {
+#[test]
+fn pot_flags_nothing_below_initial_threshold() {
+    for seed in 0..50u64 {
         let mut rng = tranad_data::SignalRng::new(seed);
         let scores: Vec<f64> = (0..2000).map(|_| rng.uniform(0.0, 1.0)).collect();
         let pot = Pot::fit(&scores, PotConfig { q: 1e-4, level: 0.05 });
-        let below: Vec<f64> = scores.iter().cloned().filter(|&s| s < pot.initial_threshold).collect();
-        prop_assert!(pot.label(&below).iter().all(|&b| !b));
+        let below: Vec<f64> =
+            scores.iter().cloned().filter(|&s| s < pot.initial_threshold).collect();
+        assert!(pot.label(&below).iter().all(|&b| !b), "seed {seed}");
     }
+}
 
-    // ---- evaluation protocol -----------------------------------------------
+// ---- evaluation protocol -----------------------------------------------
 
-    #[test]
-    fn point_adjust_never_removes_predictions(
-        pred in prop::collection::vec(any::<bool>(), 30),
-        truth in prop::collection::vec(any::<bool>(), 30),
-    ) {
+#[test]
+fn point_adjust_never_removes_predictions() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(case);
+        let pred = random_bools(&mut rng, 30);
+        let truth = random_bools(&mut rng, 30);
         let adjusted = point_adjust(&pred, &truth);
         for (p, a) in pred.iter().zip(&adjusted) {
-            prop_assert!(!p | a, "adjustment removed a prediction");
+            assert!(!p | a, "case {case}: adjustment removed a prediction");
         }
     }
+}
 
-    #[test]
-    fn point_adjust_f1_at_least_raw_f1(
-        pred in prop::collection::vec(any::<bool>(), 40),
-        truth in prop::collection::vec(any::<bool>(), 40),
-    ) {
+#[test]
+fn point_adjust_f1_at_least_raw_f1() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(case);
+        let pred = random_bools(&mut rng, 40);
+        let truth = random_bools(&mut rng, 40);
         let raw = Confusion::from_labels(&pred, &truth).f1();
         let adj = Confusion::from_labels(&point_adjust(&pred, &truth), &truth).f1();
-        prop_assert!(adj + 1e-12 >= raw, "adjusted {adj} < raw {raw}");
+        assert!(adj + 1e-12 >= raw, "case {case}: adjusted {adj} < raw {raw}");
     }
+}
 
-    #[test]
-    fn auc_is_invariant_to_monotone_transforms(
-        scores in prop::collection::vec(0.0..1.0f64, 20),
-        truth in prop::collection::vec(any::<bool>(), 20),
-    ) {
+#[test]
+fn auc_is_invariant_to_monotone_transforms() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(case);
+        let scores = random_vec(&mut rng, 20, 0.0, 1.0);
+        let truth = random_bools(&mut rng, 20);
         let a = roc_auc(&scores, &truth);
         let transformed: Vec<f64> = scores.iter().map(|&s| (s * 3.0).exp()).collect();
         let b = roc_auc(&transformed, &truth);
-        prop_assert!((a - b).abs() < 1e-9);
+        assert!((a - b).abs() < 1e-9, "case {case}: {a} vs {b}");
     }
+}
 
-    #[test]
-    fn auc_flips_under_negation(
-        scores in prop::collection::vec(0.0..1.0f64, 20),
-        truth in prop::collection::vec(any::<bool>(), 20),
-    ) {
+#[test]
+fn auc_flips_under_negation() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(case);
         // Break ties so negation is exact.
-        let scores: Vec<f64> = scores.iter().enumerate().map(|(i, &s)| s + i as f64 * 1e-9).collect();
+        let scores: Vec<f64> = random_vec(&mut rng, 20, 0.0, 1.0)
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| s + i as f64 * 1e-9)
+            .collect();
+        let truth = random_bools(&mut rng, 20);
         let a = roc_auc(&scores, &truth);
         let negated: Vec<f64> = scores.iter().map(|&s| -s).collect();
         let b = roc_auc(&negated, &truth);
-        prop_assert!((a + b - 1.0).abs() < 1e-9, "{a} + {b} != 1");
+        assert!((a + b - 1.0).abs() < 1e-9, "case {case}: {a} + {b} != 1");
     }
 }
