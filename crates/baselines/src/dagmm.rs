@@ -130,7 +130,7 @@ impl Detector for Dagmm {
             0.0,
         );
 
-        let windows = Windows::new(normalized.clone(), cfg.window);
+        let windows = Windows::borrowed(&normalized, cfg.window);
         let mut opt = AdamW::new(cfg.lr);
         let report = crate::common::epoch_loop(&mut store, &windows, cfg, |store, w, epoch| {
             let flat = flatten_windows(w);

@@ -124,7 +124,7 @@ impl Detector for Gdn {
             })
             .collect();
 
-        let windows = Windows::new(normalized.clone(), cfg.window);
+        let windows = Windows::borrowed(&normalized, cfg.window);
         let mut opt = AdamW::new(cfg.lr);
         let neighbors_ref = neighbors.clone();
         let forecasters_ref = &forecasters;

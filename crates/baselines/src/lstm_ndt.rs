@@ -89,7 +89,7 @@ impl Detector for LstmNdt {
         let lstm = LstmCell::new(&mut store, &mut init, dims, cfg.hidden);
         let head = Linear::new(&mut store, &mut init, cfg.hidden, dims);
 
-        let windows = Windows::new(normalized.clone(), cfg.window);
+        let windows = Windows::borrowed(&normalized, cfg.window);
         let mut opt = AdamW::new(cfg.lr);
         let mut rng = SignalRng::new(cfg.seed);
         let mut order: Vec<usize> = (0..windows.len()).collect();

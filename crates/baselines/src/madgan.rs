@@ -112,7 +112,7 @@ impl Detector for MadGan {
         let disc_head = Linear::new(&mut store, &mut init, cfg.hidden / 2, 1);
         let disc_ids: HashSet<usize> = store.ids().skip(disc_start).map(|p| p.index()).collect();
 
-        let windows = Windows::new(normalized.clone(), cfg.window);
+        let windows = Windows::borrowed(&normalized, cfg.window);
         let mut opt_g = AdamW::new(cfg.lr);
         let mut opt_d = AdamW::new(cfg.lr);
         let mut rng = SignalRng::new(cfg.seed);

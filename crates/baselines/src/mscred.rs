@@ -165,7 +165,7 @@ impl Detector for Mscred {
             0.0,
         );
 
-        let windows = Windows::new(normalized.clone(), cfg.window);
+        let windows = Windows::borrowed(&normalized, cfg.window);
         let mut opt = AdamW::new(cfg.lr);
         let k = cfg.window;
         let (co, ch, sc) = (channel_of.clone(), channels, scales.clone());

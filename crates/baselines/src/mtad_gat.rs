@@ -105,7 +105,7 @@ impl Detector for MtadGat {
         let gru = GruCell::new(&mut store, &mut init, 3 * dims, cfg.hidden);
         let head = Linear::new(&mut store, &mut init, cfg.hidden, dims);
 
-        let windows = Windows::new(normalized.clone(), cfg.window);
+        let windows = Windows::borrowed(&normalized, cfg.window);
         let mut opt = AdamW::new(cfg.lr);
         let mut state = MtadGatState {
             store,

@@ -93,7 +93,7 @@ impl Detector for OmniAnomaly {
             0.0,
         );
 
-        let windows = Windows::new(normalized.clone(), cfg.window);
+        let windows = Windows::borrowed(&normalized, cfg.window);
         let mut opt = AdamW::new(cfg.lr);
         let mut noise_rng = SignalRng::new(cfg.seed ^ 0xF10);
         let kl_w = self.kl_weight;

@@ -117,7 +117,7 @@ impl Detector for Usad {
         );
         let d2_ids: HashSet<usize> = store.ids().skip(d2_start).map(|p| p.index()).collect();
 
-        let windows = Windows::new(normalized.clone(), cfg.window);
+        let windows = Windows::borrowed(&normalized, cfg.window);
         let mut opt1 = AdamW::new(cfg.lr);
         let mut opt2 = AdamW::new(cfg.lr);
         let mut rng = SignalRng::new(cfg.seed);

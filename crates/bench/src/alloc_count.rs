@@ -1,0 +1,51 @@
+//! A counting global allocator (feature `count-alloc`) for measuring the
+//! allocation traffic of training steps.
+//!
+//! The wrapper delegates to the system allocator and bumps atomic counters
+//! on every `alloc`/`realloc`. It is installed as `#[global_allocator]`
+//! only by the `bench-alloc` binary so the normal benchmarks and tests run
+//! on the untouched system allocator.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// System-allocator wrapper that counts allocation events and bytes.
+pub struct CountingAlloc;
+
+// SAFETY: pure delegation to `System`; the counters do not affect layout
+// or pointer validity.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+/// Counts since process start (or the last delta baseline): `(allocations,
+/// bytes)`.
+pub fn counts() -> (u64, u64) {
+    (
+        ALLOCATIONS.load(Ordering::Relaxed),
+        BYTES.load(Ordering::Relaxed),
+    )
+}
+
+/// Convenience: allocation events and bytes between two `counts()` calls.
+pub fn delta(before: (u64, u64)) -> (u64, u64) {
+    let (a, b) = counts();
+    (a - before.0, b - before.1)
+}

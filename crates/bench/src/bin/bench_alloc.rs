@@ -1,0 +1,80 @@
+//! Reports allocator traffic per TranAD training step.
+//!
+//! Build with the counting allocator: `cargo run --release -p tranad-bench
+//! --features count-alloc --bin bench-alloc`. A first training run warms the
+//! buffer pool; the second run is measured, so the numbers reflect the
+//! steady state a long training job sits in.
+
+use tranad::config::TranadConfig;
+use tranad::train::train;
+use tranad_bench::alloc_count::{self, CountingAlloc};
+use tranad_data::{SignalRng, TimeSeries};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn toy_series(len: usize, dims: usize, seed: u64) -> TimeSeries {
+    let mut rng = SignalRng::new(seed);
+    let cols: Vec<Vec<f64>> = (0..dims)
+        .map(|d| {
+            (0..len)
+                .map(|t| ((t as f64) / (10.0 + d as f64)).sin() + 0.05 * rng.normal())
+                .collect()
+        })
+        .collect();
+    TimeSeries::from_columns(&cols)
+}
+
+/// Trains once and returns `(allocations, bytes, steps)` where a step is
+/// one optimizer update (two per batch: phase-1 and decoder-2).
+fn measure(series: &TimeSeries, config: TranadConfig) -> (u64, u64, u64) {
+    let before = alloc_count::counts();
+    let (_, report) = train(series, config);
+    let (allocs, bytes) = alloc_count::delta(before);
+    let batches = series.len().div_ceil(config.batch_size);
+    let steps = (report.epochs_run * batches * 2).max(1) as u64;
+    (allocs, bytes, steps)
+}
+
+fn main() {
+    let series = toy_series(1500, 4, 1);
+    let config = TranadConfig {
+        epochs: 4,
+        patience: 10,
+        ..TranadConfig::default()
+    };
+
+    // Warm-up run: first-touch allocations fill the buffer pool.
+    let _ = train(&series, config);
+
+    let (allocs, bytes, steps) = measure(&series, config);
+    let stats = tranad_tensor::bufpool::stats();
+
+    // Reference: same build with recycling switched off, so every tensor
+    // buffer hits the system allocator (the pre-pool behavior).
+    tranad_tensor::bufpool::set_enabled(false);
+    tranad_tensor::bufpool::clear();
+    let (allocs_off, bytes_off, steps_off) = measure(&series, config);
+    tranad_tensor::bufpool::set_enabled(true);
+
+    println!("series: len={} dims=4; {} optimizer updates per run", series.len(), steps);
+    println!(
+        "pool on:  {} allocations/step, {} bytes/step",
+        allocs / steps,
+        bytes / steps
+    );
+    println!(
+        "pool off: {} allocations/step, {} bytes/step",
+        allocs_off / steps_off,
+        bytes_off / steps_off
+    );
+    println!(
+        "reduction: {:.1}x allocations, {:.1}x bytes",
+        allocs_off as f64 / allocs.max(1) as f64,
+        bytes_off as f64 / bytes.max(1) as f64
+    );
+    println!(
+        "pool (main thread): {} hits, {} misses, {} recycled, {} dropped",
+        stats.hits, stats.misses, stats.recycled, stats.dropped
+    );
+}

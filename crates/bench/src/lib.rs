@@ -8,6 +8,8 @@
 //! - `tables --table N [--scale S] [--dataset D]...` — Tables 1–7;
 //! - `figures --figure N [--scale S]` — Figures 2–7 (CSV series + summary).
 
+#[cfg(feature = "count-alloc")]
+pub mod alloc_count;
 pub mod figures;
 pub mod methods;
 pub mod results;

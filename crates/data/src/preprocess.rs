@@ -2,6 +2,7 @@
 //! training series, and sliding windows with replication padding.
 
 use crate::series::TimeSeries;
+use std::borrow::Cow;
 use tranad_tensor::Tensor;
 
 /// Min-max normalizer fitted per dimension on the training series
@@ -66,15 +67,30 @@ impl Normalizer {
 /// (paper §3.2). Window `t` covers timestamps `t-K+1 ..= t`; positions
 /// before the start of the series are filled with the first datapoint, as
 /// in the reference implementation.
+///
+/// The series is held as a `Cow`: [`Windows::new`] takes ownership, while
+/// [`Windows::borrowed`] wraps a reference so scoring paths never copy the
+/// full series just to slide a window over it.
 #[derive(Debug, Clone)]
-pub struct Windows {
-    series: TimeSeries,
+pub struct Windows<'a> {
+    series: Cow<'a, TimeSeries>,
     k: usize,
 }
 
-impl Windows {
-    /// Creates windows of length `k` over `series`.
-    pub fn new(series: TimeSeries, k: usize) -> Windows {
+impl Windows<'static> {
+    /// Creates windows of length `k`, taking ownership of `series`.
+    pub fn new(series: TimeSeries, k: usize) -> Windows<'static> {
+        Windows::from_cow(Cow::Owned(series), k)
+    }
+}
+
+impl<'a> Windows<'a> {
+    /// Creates windows of length `k` over a borrowed series (no copy).
+    pub fn borrowed(series: &'a TimeSeries, k: usize) -> Windows<'a> {
+        Windows::from_cow(Cow::Borrowed(series), k)
+    }
+
+    fn from_cow(series: Cow<'a, TimeSeries>, k: usize) -> Windows<'a> {
         assert!(k >= 1, "window length must be positive");
         assert!(!series.is_empty(), "cannot window an empty series");
         Windows { series, k }
@@ -102,31 +118,38 @@ impl Windows {
 
     /// The underlying series.
     pub fn series(&self) -> &TimeSeries {
-        &self.series
+        self.series.as_ref()
+    }
+
+    /// Copies the `len` timestamps ending at `t` (replication-padded) into
+    /// `dst`, which must hold exactly `len * dims` elements.
+    fn fill(&self, t: usize, len: usize, dst: &mut [f64]) {
+        let m = self.series.dims();
+        debug_assert_eq!(dst.len(), len * m);
+        for (offset, row) in dst.chunks_exact_mut(m).enumerate() {
+            let pos = (t + offset + 1).checked_sub(len);
+            row.copy_from_slice(self.series.row(pos.unwrap_or(0)));
+        }
     }
 
     /// Window at timestamp `t` as a `[k, dims]` tensor.
     pub fn window(&self, t: usize) -> Tensor {
         let m = self.series.dims();
-        let mut data = Vec::with_capacity(self.k * m);
-        for offset in 0..self.k {
-            let pos = (t + offset + 1).checked_sub(self.k);
-            match pos {
-                Some(p) => data.extend_from_slice(self.series.row(p)),
-                None => data.extend_from_slice(self.series.row(0)),
-            }
-        }
-        Tensor::from_vec(data, [self.k, m])
+        let mut out = Tensor::zeros([self.k, m]);
+        self.fill(t, self.k, out.data_mut());
+        out
     }
 
     /// A batch of windows `[batch, k, dims]` for the given timestamps.
     pub fn batch(&self, ts: &[usize]) -> Tensor {
         let m = self.series.dims();
-        let mut data = Vec::with_capacity(ts.len() * self.k * m);
-        for &t in ts {
-            data.extend_from_slice(self.window(t).data());
+        let stride = self.k * m;
+        let mut out = Tensor::zeros([ts.len(), self.k, m]);
+        let data = out.data_mut();
+        for (&t, plane) in ts.iter().zip(data.chunks_exact_mut(stride)) {
+            self.fill(t, self.k, plane);
         }
-        Tensor::from_vec(data, [ts.len(), self.k, m])
+        out
     }
 
     /// The context slice `C_t`: the last `max_context` timestamps up to and
@@ -134,25 +157,21 @@ impl Windows {
     /// `[max_context, dims]`.
     pub fn context(&self, t: usize, max_context: usize) -> Tensor {
         let m = self.series.dims();
-        let mut data = Vec::with_capacity(max_context * m);
-        for offset in 0..max_context {
-            let pos = (t + offset + 1).checked_sub(max_context);
-            match pos {
-                Some(p) => data.extend_from_slice(self.series.row(p)),
-                None => data.extend_from_slice(self.series.row(0)),
-            }
-        }
-        Tensor::from_vec(data, [max_context, m])
+        let mut out = Tensor::zeros([max_context, m]);
+        self.fill(t, max_context, out.data_mut());
+        out
     }
 
     /// A batch of contexts `[batch, max_context, dims]`.
     pub fn context_batch(&self, ts: &[usize], max_context: usize) -> Tensor {
         let m = self.series.dims();
-        let mut data = Vec::with_capacity(ts.len() * max_context * m);
-        for &t in ts {
-            data.extend_from_slice(self.context(t, max_context).data());
+        let stride = max_context * m;
+        let mut out = Tensor::zeros([ts.len(), max_context, m]);
+        let data = out.data_mut();
+        for (&t, plane) in ts.iter().zip(data.chunks_exact_mut(stride)) {
+            self.fill(t, max_context, plane);
         }
-        Tensor::from_vec(data, [ts.len(), max_context, m])
+        out
     }
 }
 
@@ -242,5 +261,23 @@ mod tests {
         for t in 0..17 {
             assert_eq!(ws.window(t).shape().dims(), &[5, 1]);
         }
+    }
+
+    #[test]
+    fn borrowed_windows_match_owned() {
+        let series = series_1d(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let owned = Windows::new(series.clone(), 3);
+        let borrowed = Windows::borrowed(&series, 3);
+        for t in 0..series.len() {
+            assert_eq!(owned.window(t).data(), borrowed.window(t).data());
+            assert_eq!(
+                owned.context(t, 4).data(),
+                borrowed.context(t, 4).data()
+            );
+        }
+        assert_eq!(
+            owned.batch(&[0, 2, 4]).data(),
+            borrowed.batch(&[0, 2, 4]).data()
+        );
     }
 }

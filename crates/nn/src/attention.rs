@@ -29,7 +29,8 @@ pub fn causal_mask(len: usize) -> Tensor {
 /// broadcastable to `[b, lq, lk]`. Returns `[b, lq, d]`.
 pub fn scaled_dot_attention(q: &Var, k: &Var, v: &Var, mask: Option<&Var>) -> Var {
     let d = q.shape().last_dim() as f64;
-    let mut scores = q.matmul(&k.transpose()).scale(1.0 / d.sqrt());
+    // Fused q·kᵀ·scale: one tape node, no materialized transpose.
+    let mut scores = q.matmul_t_scaled(k, 1.0 / d.sqrt());
     if let Some(m) = mask {
         scores = scores.add(m);
     }
@@ -116,9 +117,7 @@ impl MultiHeadAttention {
             let start = h * self.head_dim;
             let qh = q.narrow_last(start, self.head_dim);
             let kh = k.narrow_last(start, self.head_dim);
-            let mut scores = qh
-                .matmul(&kh.transpose())
-                .scale(1.0 / (self.head_dim as f64).sqrt());
+            let mut scores = qh.matmul_t_scaled(&kh, 1.0 / (self.head_dim as f64).sqrt());
             if let Some(m) = mask {
                 scores = scores.add(m);
             }

@@ -42,7 +42,10 @@ impl<'a> Ctx<'a> {
     }
 
     /// The leaf variable for a parameter, created on first use and cached so
-    /// every use of the parameter shares gradient accumulation.
+    /// every use of the parameter shares gradient accumulation. The leaf is
+    /// a borrowed view of the stored tensor (an O(1) shared-storage handle,
+    /// not a copy); copy-on-write keeps it stable if the store is updated
+    /// in place while the context is alive.
     pub fn param(&self, id: ParamId) -> Var {
         let mut leaves = self.leaves.borrow_mut();
         leaves

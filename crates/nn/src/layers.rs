@@ -3,7 +3,7 @@
 
 use crate::ctx::Ctx;
 use crate::param::{Init, ParamId, ParamStore};
-use tranad_tensor::{Tensor, Var};
+use tranad_tensor::{Act, Tensor, Var};
 
 /// Affine layer `y = x W + b` applied to the last dimension.
 pub struct Linear {
@@ -44,6 +44,13 @@ impl Linear {
 
     /// Applies the layer. `x` may be `[.., in_dim]` of rank 2 or 3.
     pub fn forward(&self, ctx: &Ctx, x: &Var) -> Var {
+        self.forward_act(ctx, x, Act::Identity)
+    }
+
+    /// Applies the layer fused with an activation: `act(x W + b)` records a
+    /// single tape node instead of three (matmul, add, activation), with
+    /// bitwise-identical values and gradients.
+    pub fn forward_act(&self, ctx: &Ctx, x: &Var, act: Act) -> Var {
         debug_assert_eq!(
             x.shape().last_dim(),
             self.in_dim,
@@ -51,11 +58,9 @@ impl Linear {
             self.in_dim,
             x.shape()
         );
-        let y = x.matmul(&ctx.param(self.w));
-        match self.b {
-            Some(b) => y.add(&ctx.param(b)),
-            None => y,
-        }
+        let w = ctx.param(self.w);
+        let b = self.b.map(|b| ctx.param(b));
+        x.linear_act(&w, b.as_ref(), act)
     }
 }
 
@@ -76,11 +81,10 @@ impl LayerNorm {
         }
     }
 
-    /// Applies normalization followed by the affine transform.
+    /// Applies normalization followed by the affine transform, fused into a
+    /// single tape node (bitwise identical to the norm/mul/add chain).
     pub fn forward(&self, ctx: &Ctx, x: &Var) -> Var {
-        x.layer_norm_last(self.eps)
-            .mul(&ctx.param(self.gamma))
-            .add(&ctx.param(self.beta))
+        x.layer_norm_affine(&ctx.param(self.gamma), &ctx.param(self.beta), self.eps)
     }
 }
 
@@ -105,6 +109,16 @@ impl Activation {
             Activation::Sigmoid => x.sigmoid(),
             Activation::Tanh => x.tanh(),
             Activation::Identity => x.clone(),
+        }
+    }
+
+    /// The elementwise-kernel equivalent used by fused ops.
+    pub fn to_act(self) -> Act {
+        match self {
+            Activation::Relu => Act::Relu,
+            Activation::Sigmoid => Act::Sigmoid,
+            Activation::Tanh => Act::Tanh,
+            Activation::Identity => Act::Identity,
         }
     }
 }
@@ -138,18 +152,20 @@ impl FeedForward {
         FeedForward { layers, hidden_act, out_act, dropout }
     }
 
-    /// Applies the block.
+    /// Applies the block. Each linear layer is fused with its activation
+    /// into one tape node.
     pub fn forward(&self, ctx: &Ctx, x: &Var) -> Var {
         let mut h = x.clone();
         let last = self.layers.len() - 1;
         for (i, layer) in self.layers.iter().enumerate() {
-            h = layer.forward(ctx, &h);
             if i < last {
-                h = self.hidden_act.apply(&h);
+                h = layer.forward_act(ctx, &h, self.hidden_act.to_act());
                 h = ctx.dropout(&h, self.dropout);
+            } else {
+                h = layer.forward_act(ctx, &h, self.out_act.to_act());
             }
         }
-        self.out_act.apply(&h)
+        h
     }
 }
 

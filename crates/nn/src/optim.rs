@@ -40,33 +40,32 @@ impl AdamW {
     }
 
     /// Applies one update given `(param, gradient)` pairs.
+    ///
+    /// Updates run in place through [`ParamStore::get_mut`]; copy-on-write
+    /// detaches any live snapshot or tape leaf sharing the storage, so the
+    /// result is bitwise identical to the old clone-and-set path.
     pub fn step(&mut self, store: &mut ParamStore, grads: &[(ParamId, Tensor)]) {
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
         for (id, g) in grads {
             let idx = id.index();
-            let m = self
-                .m
-                .entry(idx)
-                .or_insert_with(|| Tensor::zeros(g.shape().clone()));
-            let v = self
-                .v
-                .entry(idx)
-                .or_insert_with(|| Tensor::zeros(g.shape().clone()));
-            let mut p = store.get(*id).clone();
-            for i in 0..g.numel() {
-                let gi = g.data()[i];
-                let mi = self.beta1 * m.data()[i] + (1.0 - self.beta1) * gi;
-                let vi = self.beta2 * v.data()[i] + (1.0 - self.beta2) * gi * gi;
-                m.data_mut()[i] = mi;
-                v.data_mut()[i] = vi;
+            let m = self.m.entry(idx).or_insert_with(|| Tensor::zeros(*g.shape()));
+            let v = self.v.entry(idx).or_insert_with(|| Tensor::zeros(*g.shape()));
+            let gd = g.data();
+            let md = m.data_mut();
+            let vd = v.data_mut();
+            let pd = store.get_mut(*id).data_mut();
+            for i in 0..gd.len() {
+                let gi = gd[i];
+                let mi = self.beta1 * md[i] + (1.0 - self.beta1) * gi;
+                let vi = self.beta2 * vd[i] + (1.0 - self.beta2) * gi * gi;
+                md[i] = mi;
+                vd[i] = vi;
                 let m_hat = mi / bc1;
                 let v_hat = vi / bc2;
-                let pd = p.data_mut();
                 pd[i] -= self.lr * (m_hat / (v_hat.sqrt() + self.eps) + self.weight_decay * pd[i]);
             }
-            store.set(*id, p);
         }
     }
 }
@@ -83,14 +82,13 @@ impl Sgd {
         Sgd { lr }
     }
 
-    /// Applies `p -= lr * g` for each pair.
+    /// Applies `p -= lr * g` for each pair, in place (copy-on-write protects
+    /// any snapshot sharing the storage).
     pub fn step(&self, store: &mut ParamStore, grads: &[(ParamId, Tensor)]) {
         for (id, g) in grads {
-            let mut p = store.get(*id).clone();
-            for (pi, gi) in p.data_mut().iter_mut().zip(g.data()) {
+            for (pi, gi) in store.get_mut(*id).data_mut().iter_mut().zip(g.data()) {
                 *pi -= self.lr * gi;
             }
-            store.set(*id, p);
         }
     }
 }
@@ -182,6 +180,115 @@ mod tests {
             opt.step(&mut store, &[(id, Tensor::zeros([1]))]);
         }
         assert!(store.get(id).data()[0] < 0.7);
+    }
+
+    /// The pre-refactor AdamW update: clone the parameter, update the clone
+    /// element by element, write it back with `set`. Kept here as the
+    /// reference the in-place path must match to the last bit.
+    struct CloneAndSetAdamW {
+        lr: f64,
+        beta1: f64,
+        beta2: f64,
+        eps: f64,
+        weight_decay: f64,
+        t: u64,
+        m: std::collections::HashMap<usize, Tensor>,
+        v: std::collections::HashMap<usize, Tensor>,
+    }
+
+    impl CloneAndSetAdamW {
+        fn new(lr: f64, weight_decay: f64) -> Self {
+            CloneAndSetAdamW {
+                lr,
+                beta1: 0.9,
+                beta2: 0.999,
+                eps: 1e-8,
+                weight_decay,
+                t: 0,
+                m: std::collections::HashMap::new(),
+                v: std::collections::HashMap::new(),
+            }
+        }
+
+        fn step(&mut self, store: &mut ParamStore, grads: &[(ParamId, Tensor)]) {
+            self.t += 1;
+            let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+            let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+            for (id, g) in grads {
+                let idx = id.index();
+                let m = self.m.entry(idx).or_insert_with(|| Tensor::zeros(*g.shape()));
+                let v = self.v.entry(idx).or_insert_with(|| Tensor::zeros(*g.shape()));
+                let mut p = store.get(*id).clone();
+                for i in 0..g.numel() {
+                    let gi = g.data()[i];
+                    let mi = self.beta1 * m.data()[i] + (1.0 - self.beta1) * gi;
+                    let vi = self.beta2 * v.data()[i] + (1.0 - self.beta2) * gi * gi;
+                    m.data_mut()[i] = mi;
+                    v.data_mut()[i] = vi;
+                    let m_hat = mi / bc1;
+                    let v_hat = vi / bc2;
+                    let pd = p.data_mut();
+                    pd[i] -=
+                        self.lr * (m_hat / (v_hat.sqrt() + self.eps) + self.weight_decay * pd[i]);
+                }
+                store.set(*id, p);
+            }
+        }
+    }
+
+    #[test]
+    fn in_place_adamw_matches_clone_and_set_bitwise() {
+        use tranad_tensor::Rng;
+
+        let mut rng = Rng::new(0x5eed);
+        let mut store_a = ParamStore::new();
+        let mut store_b = ParamStore::new();
+        let init = Tensor::from_fn([4, 3], |i| ((i as f64) * 0.31).sin());
+        let ida = store_a.add(init.clone());
+        let idb = store_b.add(init);
+
+        let mut new_opt = AdamW::new(0.01).with_weight_decay(1e-4);
+        let mut old_opt = CloneAndSetAdamW::new(0.01, 1e-4);
+        for _ in 0..25 {
+            let g = Tensor::from_fn([4, 3], |_| rng.normal());
+            // Keep a live snapshot across the in-place step so the update
+            // has to copy-on-write, exercising the aliased path too.
+            let snap = store_a.snapshot();
+            new_opt.step(&mut store_a, &[(ida, g.clone())]);
+            old_opt.step(&mut store_b, &[(idb, g)]);
+            assert_eq!(
+                store_a.get(ida).data(),
+                store_b.get(idb).data(),
+                "in-place AdamW diverged from clone-and-set at t={}",
+                new_opt.t
+            );
+            assert_ne!(
+                snap[0].data(),
+                store_a.get(ida).data(),
+                "snapshot must keep pre-step values"
+            );
+        }
+    }
+
+    #[test]
+    fn in_place_sgd_matches_clone_and_set_bitwise() {
+        let mut store_a = ParamStore::new();
+        let mut store_b = ParamStore::new();
+        let init = Tensor::from_fn([7], |i| (i as f64 * 0.7).cos());
+        let ida = store_a.add(init.clone());
+        let idb = store_b.add(init);
+        let opt = Sgd::new(0.05);
+        for step in 0..10 {
+            let g = Tensor::from_fn([7], |i| ((i + step) as f64 * 0.13).sin());
+            opt.step(&mut store_a, &[(ida, g.clone())]);
+            // reference: clone, update, set
+            let mut p = store_b.get(idb).clone();
+            for (pi, gi) in p.data_mut().iter_mut().zip(g.data()) {
+                *pi -= opt.lr * gi;
+            }
+            store_b.set(idb, p);
+            assert_eq!(store_a.get(ida).data(), store_b.get(idb).data());
+        }
     }
 
     #[test]

@@ -50,6 +50,14 @@ impl ParamStore {
         self.params[id.0] = value;
     }
 
+    /// Mutable access to a parameter for in-place updates. Writing through
+    /// the returned tensor's `data_mut` copies-on-write first if the storage
+    /// is shared (e.g. a live snapshot or tape leaf), so aliases keep their
+    /// old values.
+    pub fn get_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.params[id.0]
+    }
+
     /// Number of registered parameters (tensors, not scalars).
     pub fn len(&self) -> usize {
         self.params.len()
@@ -70,8 +78,11 @@ impl ParamStore {
         (0..self.params.len()).map(ParamId)
     }
 
-    /// Deep copy of every parameter value (for MAML snapshot/restore and
-    /// early-stopping best-weights tracking).
+    /// Snapshot of every parameter value (for MAML snapshot/restore and
+    /// early-stopping best-weights tracking). With shared tensor storage
+    /// this is O(#params) handle clones, not a deep copy — copy-on-write
+    /// keeps the snapshot stable if the live parameters are later updated
+    /// in place.
     pub fn snapshot(&self) -> Vec<Tensor> {
         self.params.clone()
     }

@@ -12,6 +12,9 @@
 //! - [`Tape`] / [`Var`]: eager operator recording and reverse-mode
 //!   differentiation. A fresh tape per training step; model parameters live
 //!   outside and are re-introduced as leaves.
+//! - [`buf`] / [`bufpool`]: shared, copy-on-write tensor storage backed by
+//!   a thread-local buffer pool — tensor clones are O(1) and steady-state
+//!   training steps recycle buffers instead of allocating.
 //! - [`check`]: finite-difference gradient checking used across the
 //!   workspace's tests.
 //! - [`pool`]: a from-scratch thread pool driving the matmul/elementwise
@@ -34,6 +37,8 @@
 //! assert_eq!(w.grad().shape().dims(), &[1, 2]);
 //! ```
 
+pub mod buf;
+pub mod bufpool;
 pub mod check;
 pub mod pool;
 pub mod rng;
@@ -44,4 +49,4 @@ pub mod tensor;
 pub use rng::Rng;
 pub use shape::Shape;
 pub use tape::{Tape, Var};
-pub use tensor::Tensor;
+pub use tensor::{Act, Tensor};

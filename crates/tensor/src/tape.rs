@@ -6,7 +6,7 @@
 //! outside the tape and are re-introduced as leaves each step.
 
 use crate::shape::Shape;
-use crate::tensor::Tensor;
+use crate::tensor::{Act, Tensor};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -40,6 +40,15 @@ enum Op {
     LayerNormLast { x: usize, inv_std: Tensor },
     ConcatLast(Vec<usize>),
     NarrowLast { x: usize, start: usize },
+    /// Fused `act(x @ w + b)`: one node where the unfused chain records
+    /// three (matmul, broadcast add, activation).
+    LinearAct { x: usize, w: usize, b: Option<usize>, act: Act },
+    /// Fused `layer_norm(x) * gamma + beta`: one node instead of three.
+    /// `normed` is the pre-affine normalized value the backward pass needs.
+    LayerNormAffine { x: usize, gamma: usize, beta: usize, normed: Tensor, inv_std: Tensor },
+    /// Fused `(a @ b^T) * scale` (attention scores): one node instead of
+    /// three (transpose, matmul, scale).
+    MatmulTScale { a: usize, b: usize, scale: f64 },
 }
 
 struct Node {
@@ -94,6 +103,8 @@ impl Tape {
         Var { tape: self.clone(), id }
     }
 
+    /// A handle to a node's value. Storage is shared (see `crate::buf`), so
+    /// this is an O(1) reference-count bump, not a copy.
     fn value_of(&self, id: usize) -> Tensor {
         self.inner.borrow().nodes[id].value.clone()
     }
@@ -107,6 +118,8 @@ impl Tape {
             "gradient shape mismatch at node {id}"
         );
         match &mut node.grad {
+            // In place: the accumulator is uniquely owned while backward is
+            // still upstream of this node (copy-on-write guards the rest).
             Some(acc) => acc.add_assign(&g),
             slot @ None => *slot = Some(g),
         }
@@ -119,14 +132,15 @@ impl Var {
         &self.tape
     }
 
-    /// This variable's current value (cloned out of the tape).
+    /// This variable's current value: an O(1) shared-storage handle, not a
+    /// copy (tensors are copy-on-write).
     pub fn value(&self) -> Tensor {
         self.tape.value_of(self.id)
     }
 
     /// The shape of this variable's value.
     pub fn shape(&self) -> Shape {
-        self.tape.inner.borrow().nodes[self.id].value.shape().clone()
+        *self.tape.inner.borrow().nodes[self.id].value.shape()
     }
 
     /// The accumulated gradient (zeros if backward never reached this node).
@@ -135,7 +149,7 @@ impl Var {
         let node = &inner.nodes[self.id];
         node.grad
             .clone()
-            .unwrap_or_else(|| Tensor::zeros(node.value.shape().clone()))
+            .unwrap_or_else(|| Tensor::zeros(*node.value.shape()))
     }
 
     fn same_tape(&self, other: &Var) {
@@ -275,31 +289,59 @@ impl Var {
     }
 
     /// Layer normalization over the last dimension (no affine; compose with
-    /// `mul`/`add` for scale and shift).
+    /// `mul`/`add` for scale and shift, or use the fused
+    /// [`Var::layer_norm_affine`]).
     pub fn layer_norm_last(&self, eps: f64) -> Var {
-        let x = self.value();
-        let m = x.shape().last_dim();
-        let rows = x.numel() / m;
-        let mut inv_std = Vec::with_capacity(rows);
-        let mut out = vec![0.0; x.numel()];
-        for r in 0..rows {
-            let row = &x.data()[r * m..(r + 1) * m];
-            let mean: f64 = row.iter().sum::<f64>() / m as f64;
-            let var: f64 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / m as f64;
-            let is = 1.0 / (var + eps).sqrt();
-            for (o, &v) in out[r * m..(r + 1) * m].iter_mut().zip(row) {
-                *o = (v - mean) * is;
-            }
-            inv_std.push(is);
+        let (normed, inv_std) = self.value().layer_norm_parts(eps);
+        self.tape.push(normed, Op::LayerNormLast { x: self.id, inv_std })
+    }
+
+    // ---- fused ops ---------------------------------------------------------
+
+    /// Fused `act(self @ w + b)` — one tape node and one output buffer where
+    /// the unfused chain records three nodes. Numerically identical
+    /// (bitwise) to `self.matmul(w).add(b)` followed by the activation.
+    pub fn linear_act(&self, w: &Var, b: Option<&Var>, act: Act) -> Var {
+        self.same_tape(w);
+        if let Some(b) = b {
+            self.same_tape(b);
         }
-        let value = Tensor::from_vec(out, x.shape().clone());
+        let v = {
+            let inner = self.tape.inner.borrow();
+            let bv = b.map(|b| &inner.nodes[b.id].value);
+            inner.nodes[self.id].value.matmul_bias_act(&inner.nodes[w.id].value, bv, act)
+        };
+        self.tape.push(v, Op::LinearAct { x: self.id, w: w.id, b: b.map(|b| b.id), act })
+    }
+
+    /// Fused affine layer norm `layer_norm(self) * gamma + beta` — one tape
+    /// node instead of three, bitwise identical to the unfused chain.
+    pub fn layer_norm_affine(&self, gamma: &Var, beta: &Var, eps: f64) -> Var {
+        self.same_tape(gamma);
+        self.same_tape(beta);
+        let (v, normed, inv_std) = {
+            let inner = self.tape.inner.borrow();
+            let (normed, inv_std) = inner.nodes[self.id].value.layer_norm_parts(eps);
+            let v = normed
+                .scale_shift_last(&inner.nodes[gamma.id].value, &inner.nodes[beta.id].value);
+            (v, normed, inv_std)
+        };
         self.tape.push(
-            value,
-            Op::LayerNormLast {
-                x: self.id,
-                inv_std: Tensor::from_vec(inv_std, [rows]),
-            },
+            v,
+            Op::LayerNormAffine { x: self.id, gamma: gamma.id, beta: beta.id, normed, inv_std },
         )
+    }
+
+    /// Fused `(self @ other^T) * scale` (attention scores) — one tape node
+    /// instead of three, without materializing the transpose; bitwise
+    /// identical to `self.matmul(&other.transpose()).scale(scale)`.
+    pub fn matmul_t_scaled(&self, other: &Var, scale: f64) -> Var {
+        self.same_tape(other);
+        let v = {
+            let inner = self.tape.inner.borrow();
+            inner.nodes[self.id].value.matmul_nt_scaled(&inner.nodes[other.id].value, scale)
+        };
+        self.tape.push(v, Op::MatmulTScale { a: self.id, b: other.id, scale })
     }
 
     // ---- reductions & reshuffles -------------------------------------------
@@ -420,7 +462,7 @@ impl Var {
                 }
                 Op::Transpose(a) => Rule::One { to: *a, g: g.transpose() },
                 Op::Reshape(a) => {
-                    let s = val(*a).shape().clone();
+                    let s = *val(*a).shape();
                     Rule::One { to: *a, g: g.reshape(s) }
                 }
                 Op::Neg(a) => Rule::One { to: *a, g: g.map(|x| -x) },
@@ -453,20 +495,20 @@ impl Var {
                     Rule::One { to: *a, g: softmax_backward(&g, &node.value) }
                 }
                 Op::SumAll(a) => {
-                    let s = val(*a).shape().clone();
+                    let s = *val(*a).shape();
                     Rule::One { to: *a, g: Tensor::full(s, g.item()) }
                 }
                 Op::MeanAll(a) => {
-                    let s = val(*a).shape().clone();
+                    let s = *val(*a).shape();
                     let n = s.numel() as f64;
                     Rule::One { to: *a, g: Tensor::full(s, g.item() / n) }
                 }
                 Op::SumLast(a) => {
-                    let s = val(*a).shape().clone();
+                    let s = *val(*a).shape();
                     Rule::One { to: *a, g: expand_last(&g, &s, 1.0) }
                 }
                 Op::MeanLast(a) => {
-                    let s = val(*a).shape().clone();
+                    let s = *val(*a).shape();
                     let m = s.last_dim() as f64;
                     Rule::One { to: *a, g: expand_last(&g, &s, 1.0 / m) }
                 }
@@ -487,8 +529,48 @@ impl Var {
                     Rule::Many(grads)
                 }
                 Op::NarrowLast { x, start } => {
-                    let s = val(*x).shape().clone();
+                    let s = *val(*x).shape();
                     Rule::One { to: *x, g: scatter_last(&g, &s, *start) }
+                }
+                Op::LinearAct { x, w, b, act } => {
+                    // dpre = g ∘ act'(y), with act' read off the output y;
+                    // then the plain matmul backward on the pre-activation.
+                    // Expressions (and evaluation order) match the unfused
+                    // Relu/Sigmoid/Tanh backward rules bitwise.
+                    let dpre = match act {
+                        Act::Identity => g.clone(),
+                        Act::Relu => {
+                            g.zip(&node.value, |x, y| if y > 0.0 { x } else { 0.0 })
+                        }
+                        Act::Sigmoid => g.zip(&node.value, |x, y| x * y * (1.0 - y)),
+                        Act::Tanh => g.zip(&node.value, |x, y| x * (1.0 - y * y)),
+                    };
+                    let (xv, wv) = (val(*x), val(*w));
+                    let (gx, gw) = matmul_backward(&dpre, &xv, &wv);
+                    let mut grads = vec![(*x, gx), (*w, gw)];
+                    if let Some(bid) = b {
+                        let bs = *val(*bid).shape();
+                        grads.push((*bid, dpre.reduce_to_shape(&bs)));
+                    }
+                    Rule::Many(grads)
+                }
+                Op::LayerNormAffine { x, gamma, beta, normed, inv_std } => {
+                    // Mirrors the unfused add/mul/layer-norm backward chain
+                    // term for term (same reduction order — bitwise equal).
+                    let gv = val(*gamma);
+                    let gbeta = g.reduce_to_shape(val(*beta).shape());
+                    let ggamma = g.broadcast_zip(normed, |a, b| a * b).reduce_to_shape(gv.shape());
+                    let gn = g.broadcast_zip(&gv, |a, b| a * b);
+                    let gx = layer_norm_backward(&gn, normed, inv_std);
+                    Rule::Many(vec![(*x, gx), (*gamma, ggamma), (*beta, gbeta)])
+                }
+                Op::MatmulTScale { a, b, scale } => {
+                    let (av, bv) = (val(*a), val(*b));
+                    let c = *scale;
+                    let gs = g.map(|x| x * c);
+                    let ga = gs.matmul(&bv);
+                    let gb = gs.transpose().matmul(&av);
+                    Rule::Two { a: *a, ga, b: *b, gb }
                 }
             }
         };
@@ -526,13 +608,14 @@ fn matmul_backward(g: &Tensor, a: &Tensor, b: &Tensor) -> (Tensor, Tensor) {
 fn sum_axis0(t: &Tensor) -> Tensor {
     assert_eq!(t.shape().rank(), 3);
     let (b, n, m) = (t.shape().dim(0), t.shape().dim(1), t.shape().dim(2));
-    let mut out = vec![0.0; n * m];
+    let mut out = Tensor::zeros([n, m]);
+    let od = out.data_mut();
     for bi in 0..b {
-        for (o, &v) in out.iter_mut().zip(&t.data()[bi * n * m..(bi + 1) * n * m]) {
+        for (o, &v) in od.iter_mut().zip(&t.data()[bi * n * m..(bi + 1) * n * m]) {
             *o += v;
         }
     }
-    Tensor::from_vec(out, [n, m])
+    out
 }
 
 /// Softmax jacobian-vector product over the last dim:
@@ -540,16 +623,17 @@ fn sum_axis0(t: &Tensor) -> Tensor {
 fn softmax_backward(g: &Tensor, y: &Tensor) -> Tensor {
     let m = y.shape().last_dim();
     let rows = y.numel() / m;
-    let mut out = vec![0.0; y.numel()];
+    let mut out = Tensor::uninit(*y.shape());
+    let od = out.data_mut();
     for r in 0..rows {
         let gr = &g.data()[r * m..(r + 1) * m];
         let yr = &y.data()[r * m..(r + 1) * m];
         let dot: f64 = gr.iter().zip(yr).map(|(&a, &b)| a * b).sum();
-        for ((o, &gi), &yi) in out[r * m..(r + 1) * m].iter_mut().zip(gr).zip(yr) {
+        for ((o, &gi), &yi) in od[r * m..(r + 1) * m].iter_mut().zip(gr).zip(yr) {
             *o = (gi - dot) * yi;
         }
     }
-    Tensor::from_vec(out, y.shape().clone())
+    out
 }
 
 /// Layer-norm backward over the last dim given normalized output `y` and the
@@ -557,18 +641,19 @@ fn softmax_backward(g: &Tensor, y: &Tensor) -> Tensor {
 fn layer_norm_backward(g: &Tensor, y: &Tensor, inv_std: &Tensor) -> Tensor {
     let m = y.shape().last_dim();
     let rows = y.numel() / m;
-    let mut out = vec![0.0; y.numel()];
+    let mut out = Tensor::uninit(*y.shape());
+    let od = out.data_mut();
     for r in 0..rows {
         let gr = &g.data()[r * m..(r + 1) * m];
         let yr = &y.data()[r * m..(r + 1) * m];
         let is = inv_std.data()[r];
         let mean_g: f64 = gr.iter().sum::<f64>() / m as f64;
         let mean_gy: f64 = gr.iter().zip(yr).map(|(&a, &b)| a * b).sum::<f64>() / m as f64;
-        for ((o, &gi), &yi) in out[r * m..(r + 1) * m].iter_mut().zip(gr).zip(yr) {
+        for ((o, &gi), &yi) in od[r * m..(r + 1) * m].iter_mut().zip(gr).zip(yr) {
             *o = is * (gi - mean_g - yi * mean_gy);
         }
     }
-    Tensor::from_vec(out, y.shape().clone())
+    out
 }
 
 /// Broadcasts a reduced-last-dim gradient back over the last dimension of
@@ -577,14 +662,15 @@ fn expand_last(g: &Tensor, target: &Shape, scale: f64) -> Tensor {
     let m = target.last_dim();
     let rows = target.numel() / m;
     assert_eq!(g.numel(), rows, "expand_last row mismatch");
-    let mut out = vec![0.0; target.numel()];
+    let mut out = Tensor::uninit(*target);
+    let od = out.data_mut();
     for r in 0..rows {
         let v = g.data()[r] * scale;
-        for o in &mut out[r * m..(r + 1) * m] {
+        for o in &mut od[r * m..(r + 1) * m] {
             *o = v;
         }
     }
-    Tensor::from_vec(out, target.clone())
+    out
 }
 
 /// Scatters a narrowed gradient back into a zero tensor of shape `target`.
@@ -592,12 +678,13 @@ fn scatter_last(g: &Tensor, target: &Shape, start: usize) -> Tensor {
     let m = target.last_dim();
     let len = g.shape().last_dim();
     let rows = target.numel() / m;
-    let mut out = vec![0.0; target.numel()];
+    let mut out = Tensor::zeros(*target);
+    let od = out.data_mut();
     for r in 0..rows {
-        out[r * m + start..r * m + start + len]
+        od[r * m + start..r * m + start + len]
             .copy_from_slice(&g.data()[r * len..(r + 1) * len]);
     }
-    Tensor::from_vec(out, target.clone())
+    out
 }
 
 #[cfg(test)]
@@ -733,6 +820,90 @@ mod tests {
         let y = x.mean_last().sum_all();
         y.backward();
         assert!(x.grad().data().iter().all(|&v| (v - 0.25).abs() < 1e-12));
+    }
+
+    fn pseudo(shape: &[usize], seed: u64) -> Tensor {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        Tensor::from_fn(shape.to_vec(), |_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state as f64 / u64::MAX as f64) * 2.0 - 1.0
+        })
+    }
+
+    #[test]
+    fn fused_linear_act_matches_unfused_bitwise() {
+        let x = pseudo(&[2, 5, 4], 3);
+        let w = pseudo(&[4, 6], 4);
+        let b = pseudo(&[6], 5);
+        for act in [Act::Identity, Act::Relu, Act::Sigmoid, Act::Tanh] {
+            let t1 = Tape::new();
+            let (xv, wv, bv) = (t1.leaf(x.clone()), t1.leaf(w.clone()), t1.leaf(b.clone()));
+            let fused = xv.linear_act(&wv, Some(&bv), act);
+            fused.square().mean_all().backward();
+
+            let t2 = Tape::new();
+            let (xu, wu, bu) = (t2.leaf(x.clone()), t2.leaf(w.clone()), t2.leaf(b.clone()));
+            let pre = xu.matmul(&wu).add(&bu);
+            let unfused = match act {
+                Act::Identity => pre,
+                Act::Relu => pre.relu(),
+                Act::Sigmoid => pre.sigmoid(),
+                Act::Tanh => pre.tanh(),
+            };
+            unfused.square().mean_all().backward();
+
+            assert_eq!(fused.value().data(), unfused.value().data(), "{act:?} value");
+            assert_eq!(xv.grad().data(), xu.grad().data(), "{act:?} dx");
+            assert_eq!(wv.grad().data(), wu.grad().data(), "{act:?} dw");
+            assert_eq!(bv.grad().data(), bu.grad().data(), "{act:?} db");
+            assert_eq!(t1.len(), t2.len() - if act == Act::Identity { 1 } else { 2 });
+        }
+    }
+
+    #[test]
+    fn fused_layer_norm_affine_matches_unfused_bitwise() {
+        let x = pseudo(&[3, 4, 6], 7);
+        let gamma = pseudo(&[6], 8);
+        let beta = pseudo(&[6], 9);
+
+        let t1 = Tape::new();
+        let (xv, gv, bv) = (t1.leaf(x.clone()), t1.leaf(gamma.clone()), t1.leaf(beta.clone()));
+        let fused = xv.layer_norm_affine(&gv, &bv, 1e-5);
+        fused.square().mean_all().backward();
+
+        let t2 = Tape::new();
+        let (xu, gu, bu) = (t2.leaf(x.clone()), t2.leaf(gamma.clone()), t2.leaf(beta.clone()));
+        let unfused = xu.layer_norm_last(1e-5).mul(&gu).add(&bu);
+        unfused.square().mean_all().backward();
+
+        assert_eq!(fused.value().data(), unfused.value().data());
+        assert_eq!(xv.grad().data(), xu.grad().data());
+        assert_eq!(gv.grad().data(), gu.grad().data());
+        assert_eq!(bv.grad().data(), bu.grad().data());
+        assert_eq!(t1.len(), t2.len() - 2);
+    }
+
+    #[test]
+    fn fused_matmul_t_scaled_matches_unfused_bitwise() {
+        let q = pseudo(&[2, 4, 3], 11);
+        let k = pseudo(&[2, 5, 3], 12);
+
+        let t1 = Tape::new();
+        let (qv, kv) = (t1.leaf(q.clone()), t1.leaf(k.clone()));
+        let fused = qv.matmul_t_scaled(&kv, 0.25);
+        fused.square().mean_all().backward();
+
+        let t2 = Tape::new();
+        let (qu, ku) = (t2.leaf(q.clone()), t2.leaf(k.clone()));
+        let unfused = qu.matmul(&ku.transpose()).scale(0.25);
+        unfused.square().mean_all().backward();
+
+        assert_eq!(fused.value().data(), unfused.value().data());
+        assert_eq!(qv.grad().data(), qu.grad().data());
+        assert_eq!(kv.grad().data(), ku.grad().data());
+        assert_eq!(t1.len(), t2.len() - 2);
     }
 
     #[test]

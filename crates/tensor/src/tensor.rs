@@ -1,6 +1,12 @@
 //! Dense row-major `f64` tensors and the eager (non-differentiable) ops the
 //! autograd tape is built on.
+//!
+//! Storage is shared and pooled (see [`crate::buf`] / [`crate::bufpool`]):
+//! cloning a tensor is O(1), mutation is copy-on-write through
+//! [`Tensor::data_mut`], and every op draws its output buffer from the
+//! thread-local pool instead of the system allocator.
 
+use crate::buf::Buf;
 use crate::pool;
 use crate::shape::Shape;
 use std::fmt;
@@ -13,10 +19,50 @@ const MATMUL_CUTOFF: usize = 64 * 64 * 64;
 /// Rows handed to one elementwise/softmax/transpose task.
 const ROW_GRAIN: usize = 64;
 
-/// A dense, row-major, heap-allocated `f64` tensor.
+/// Activation fused into [`Tensor::matmul_bias_act`] and the tape's fused
+/// linear op. Every variant's derivative is expressible from the activation
+/// *output*, which is what makes the fusion free: backward needs no saved
+/// pre-activation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Act {
+    /// No activation.
+    Identity,
+    /// `max(x, 0)`.
+    Relu,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+}
+
+impl Act {
+    /// Applies the activation to one value.
+    #[inline]
+    pub fn apply(self, x: f64) -> f64 {
+        match self {
+            Act::Identity => x,
+            Act::Relu => x.max(0.0),
+            Act::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            Act::Tanh => x.tanh(),
+        }
+    }
+
+    /// Derivative at a point, computed from the activation output `y`.
+    #[inline]
+    pub fn grad_from_output(self, y: f64) -> f64 {
+        match self {
+            Act::Identity => 1.0,
+            Act::Relu => f64::from(y > 0.0),
+            Act::Sigmoid => y * (1.0 - y),
+            Act::Tanh => 1.0 - y * y,
+        }
+    }
+}
+
+/// A dense, row-major `f64` tensor backed by shared, pooled storage.
 #[derive(Clone, PartialEq)]
 pub struct Tensor {
-    data: Vec<f64>,
+    data: Buf,
     shape: Shape,
 }
 
@@ -31,18 +77,26 @@ impl Tensor {
             "data length {} does not match shape {shape}",
             data.len()
         );
-        Tensor { data, shape }
+        Tensor { data: Buf::from_vec(data), shape }
+    }
+
+    /// Internal: a pooled tensor whose contents are stale and must be fully
+    /// overwritten before the tensor escapes.
+    pub(crate) fn uninit(shape: Shape) -> Self {
+        Tensor { data: Buf::uninit(shape.numel()), shape }
     }
 
     /// A rank-0 tensor holding a single value.
     pub fn scalar(v: f64) -> Self {
-        Tensor { data: vec![v], shape: Shape::scalar() }
+        let mut t = Tensor::uninit(Shape::scalar());
+        t.data.make_mut()[0] = v;
+        t
     }
 
     /// All-zeros tensor of the given shape.
     pub fn zeros(shape: impl Into<Shape>) -> Self {
         let shape = shape.into();
-        Tensor { data: vec![0.0; shape.numel()], shape }
+        Tensor { data: Buf::zeroed(shape.numel()), shape }
     }
 
     /// All-ones tensor of the given shape.
@@ -52,20 +106,23 @@ impl Tensor {
 
     /// Constant-filled tensor of the given shape.
     pub fn full(shape: impl Into<Shape>, v: f64) -> Self {
-        let shape = shape.into();
-        Tensor { data: vec![v; shape.numel()], shape }
+        let mut t = Tensor::uninit(shape.into());
+        t.data.make_mut().fill(v);
+        t
     }
 
     /// Builds a tensor by calling `f` for each flat (row-major) index.
-    pub fn from_fn(shape: impl Into<Shape>, f: impl FnMut(usize) -> f64) -> Self {
-        let shape = shape.into();
-        let data = (0..shape.numel()).map(f).collect();
-        Tensor { data, shape }
+    pub fn from_fn(shape: impl Into<Shape>, mut f: impl FnMut(usize) -> f64) -> Self {
+        let mut t = Tensor::uninit(shape.into());
+        for (i, o) in t.data.make_mut().iter_mut().enumerate() {
+            *o = f(i);
+        }
+        t
     }
 
     /// A 1-d tensor over a slice.
     pub fn from_slice(v: &[f64]) -> Self {
-        Tensor { data: v.to_vec(), shape: Shape::new([v.len()]) }
+        Tensor { data: Buf::copy_of(v), shape: Shape::new([v.len()]) }
     }
 
     /// The tensor's shape.
@@ -83,14 +140,22 @@ impl Tensor {
         &self.data
     }
 
-    /// Mutable flat view of the elements.
+    /// Mutable flat view of the elements. Copy-on-write: if the storage is
+    /// shared with another tensor, it is copied first, so writes are never
+    /// visible through other handles.
     pub fn data_mut(&mut self) -> &mut [f64] {
-        &mut self.data
+        self.data.make_mut()
     }
 
-    /// Consumes the tensor, returning its flat data.
+    /// Consumes the tensor, returning its flat data (copies only if the
+    /// storage is shared).
     pub fn into_vec(self) -> Vec<f64> {
-        self.data
+        self.data.into_vec()
+    }
+
+    /// True if this tensor shares storage with `other` (diagnostics/tests).
+    pub fn shares_storage(&self, other: &Tensor) -> bool {
+        self.data.ptr_eq(&other.data)
     }
 
     /// The single value of a rank-0 or single-element tensor.
@@ -104,14 +169,15 @@ impl Tensor {
         assert_eq!(index.len(), self.shape.rank(), "index rank mismatch");
         let strides = self.shape.strides();
         let mut flat = 0;
-        for (i, (&ix, &st)) in index.iter().zip(&strides).enumerate() {
+        for (i, (&ix, &st)) in index.iter().zip(strides.iter()).enumerate() {
             assert!(ix < self.shape.dim(i), "index {ix} out of range in dim {i}");
             flat += ix * st;
         }
         self.data[flat]
     }
 
-    /// Reinterprets the data with a new shape of equal element count.
+    /// Reinterprets the data with a new shape of equal element count. O(1):
+    /// the result shares this tensor's storage.
     pub fn reshape(&self, shape: impl Into<Shape>) -> Tensor {
         let shape = shape.into();
         assert_eq!(self.numel(), shape.numel(), "reshape {} -> {shape}", self.shape);
@@ -129,59 +195,57 @@ impl Tensor {
     /// are processed in parallel chunks (each output element depends only
     /// on its input element, so chunking never changes the result).
     pub fn map(&self, f: impl Fn(f64) -> f64 + Sync) -> Tensor {
+        let mut out = Tensor::uninit(self.shape);
+        let od = out.data.make_mut();
         if self.numel() < ELEMENTWISE_CUTOFF {
-            return Tensor {
-                data: self.data.iter().map(|&v| f(v)).collect(),
-                shape: self.shape.clone(),
-            };
-        }
-        let mut data = vec![0.0; self.numel()];
-        pool::parallel_chunks_mut(&mut data, ELEMENTWISE_CUTOFF, |start, chunk| {
-            let src = &self.data[start..start + chunk.len()];
-            for (o, &v) in chunk.iter_mut().zip(src) {
+            for (o, &v) in od.iter_mut().zip(self.data.iter()) {
                 *o = f(v);
             }
-        });
-        Tensor { data, shape: self.shape.clone() }
+        } else {
+            pool::parallel_chunks_mut(od, ELEMENTWISE_CUTOFF, |start, chunk| {
+                let src = &self.data[start..start + chunk.len()];
+                for (o, &v) in chunk.iter_mut().zip(src) {
+                    *o = f(v);
+                }
+            });
+        }
+        out
     }
 
     /// Combines two same-shaped tensors elementwise (parallel above the
     /// size cutoff, like [`Tensor::map`]).
     pub fn zip(&self, other: &Tensor, f: impl Fn(f64, f64) -> f64 + Sync) -> Tensor {
         assert_eq!(self.shape, other.shape, "zip shape mismatch");
+        let mut out = Tensor::uninit(self.shape);
+        let od = out.data.make_mut();
         if self.numel() < ELEMENTWISE_CUTOFF {
-            return Tensor {
-                data: self
-                    .data
-                    .iter()
-                    .zip(&other.data)
-                    .map(|(&a, &b)| f(a, b))
-                    .collect(),
-                shape: self.shape.clone(),
-            };
-        }
-        let mut data = vec![0.0; self.numel()];
-        pool::parallel_chunks_mut(&mut data, ELEMENTWISE_CUTOFF, |start, chunk| {
-            let a = &self.data[start..start + chunk.len()];
-            let b = &other.data[start..start + chunk.len()];
-            for ((o, &x), &y) in chunk.iter_mut().zip(a).zip(b) {
+            for ((o, &x), &y) in od.iter_mut().zip(self.data.iter()).zip(other.data.iter()) {
                 *o = f(x, y);
             }
-        });
-        Tensor { data, shape: self.shape.clone() }
+        } else {
+            pool::parallel_chunks_mut(od, ELEMENTWISE_CUTOFF, |start, chunk| {
+                let a = &self.data[start..start + chunk.len()];
+                let b = &other.data[start..start + chunk.len()];
+                for ((o, &x), &y) in chunk.iter_mut().zip(a).zip(b) {
+                    *o = f(x, y);
+                }
+            });
+        }
+        out
     }
 
-    /// In-place `self += other` (same shape).
+    /// In-place `self += other` (same shape; copy-on-write if shared).
     pub fn add_assign(&mut self, other: &Tensor) {
         assert_eq!(self.shape, other.shape, "add_assign shape mismatch");
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
+        let od = other.data.clone(); // O(1); survives even if self == other
+        for (a, &b) in self.data.make_mut().iter_mut().zip(od.iter()) {
             *a += b;
         }
     }
 
-    /// In-place scale by a constant.
+    /// In-place scale by a constant (copy-on-write if shared).
     pub fn scale_assign(&mut self, c: f64) {
-        for a in self.data.iter_mut() {
+        for a in self.data.make_mut().iter_mut() {
             *a *= c;
         }
     }
@@ -213,38 +277,44 @@ impl Tensor {
         // without per-element index arithmetic.
         if is_suffix(&other.shape, &self.shape) {
             let block = other.numel();
-            let mut data = Vec::with_capacity(self.numel());
-            for chunk in self.data.chunks_exact(block) {
-                data.extend(chunk.iter().zip(&other.data).map(|(&a, &b)| f(a, b)));
+            let mut out = Tensor::uninit(self.shape);
+            let od = out.data.make_mut();
+            for (dst, chunk) in od.chunks_exact_mut(block).zip(self.data.chunks_exact(block)) {
+                for ((o, &a), &b) in dst.iter_mut().zip(chunk).zip(other.data.iter()) {
+                    *o = f(a, b);
+                }
             }
-            return Tensor { data, shape: self.shape.clone() };
+            return out;
         }
         if is_suffix(&self.shape, &other.shape) {
             let block = self.numel();
-            let mut data = Vec::with_capacity(other.numel());
-            for chunk in other.data.chunks_exact(block) {
-                data.extend(self.data.iter().zip(chunk).map(|(&a, &b)| f(a, b)));
+            let mut out = Tensor::uninit(other.shape);
+            let od = out.data.make_mut();
+            for (dst, chunk) in od.chunks_exact_mut(block).zip(other.data.chunks_exact(block)) {
+                for ((o, &a), &b) in dst.iter_mut().zip(self.data.iter()).zip(chunk) {
+                    *o = f(a, b);
+                }
             }
-            return Tensor { data, shape: other.shape.clone() };
+            return out;
         }
         let out_shape = self
             .shape
             .broadcast_with(&other.shape)
             .unwrap_or_else(|| panic!("cannot broadcast {} with {}", self.shape, other.shape));
-        let out_strides = out_shape.strides();
         let a_bstrides = broadcast_strides(&self.shape, &out_shape);
         let b_bstrides = broadcast_strides(&other.shape, &out_shape);
-        let mut data = Vec::with_capacity(out_shape.numel());
+        let mut out = Tensor::uninit(out_shape);
+        let od = out.data.make_mut();
         let rank = out_shape.rank();
-        let mut index = vec![0usize; rank];
-        for _ in 0..out_shape.numel() {
+        let mut index = [0usize; crate::shape::MAX_RANK];
+        for o in od.iter_mut() {
             let mut a_off = 0;
             let mut b_off = 0;
             for d in 0..rank {
                 a_off += index[d] * a_bstrides[d];
                 b_off += index[d] * b_bstrides[d];
             }
-            data.push(f(self.data[a_off], other.data[b_off]));
+            *o = f(self.data[a_off], other.data[b_off]);
             // increment multi-index
             for d in (0..rank).rev() {
                 index[d] += 1;
@@ -254,8 +324,7 @@ impl Tensor {
                 index[d] = 0;
             }
         }
-        let _ = out_strides;
-        Tensor { data, shape: out_shape }
+        out
     }
 
     /// Reduces (sums) a gradient of `grad_shape` down to `self`-like
@@ -273,30 +342,31 @@ impl Tensor {
         // plain suffix of this shape — sum the leading blocks.
         if is_suffix(target, &self.shape) {
             let block = target.numel();
-            let mut out = vec![0.0; block];
+            let mut out = Tensor::zeros(*target);
+            let od = out.data.make_mut();
             for chunk in self.data.chunks_exact(block) {
-                for (o, &v) in out.iter_mut().zip(chunk) {
+                for (o, &v) in od.iter_mut().zip(chunk) {
                     *o += v;
                 }
             }
-            return Tensor { data: out, shape: target.clone() };
+            return out;
         }
         let rank = self.shape.rank();
         let t_rank = target.rank();
-        let mut out = Tensor::zeros(target.clone());
+        let mut out = Tensor::zeros(*target);
+        let od = out.data.make_mut();
         let t_strides = target.strides();
-        let mut index = vec![0usize; rank];
-        #[allow(clippy::needless_range_loop)] // stride arithmetic over dims
-        for &v in &self.data {
+        let mut index = [0usize; crate::shape::MAX_RANK];
+        for &v in self.data.iter() {
             // Map the broadcast index back onto the (possibly lower-rank,
             // possibly extent-1) target index.
             let mut t_off = 0;
-            for d in 0..t_rank {
+            for (d, &stride) in t_strides.iter().enumerate().take(t_rank) {
                 let src_d = rank - t_rank + d;
                 let ix = if target.dim(d) == 1 { 0 } else { index[src_d] };
-                t_off += ix * t_strides[d];
+                t_off += ix * stride;
             }
-            out.data[t_off] += v;
+            od[t_off] += v;
             for d in (0..rank).rev() {
                 index[d] += 1;
                 if index[d] < self.shape.dim(d) {
@@ -320,14 +390,15 @@ impl Tensor {
                 let (n, k) = (self.shape.dim(0), self.shape.dim(1));
                 let (k2, m) = (rhs.shape.dim(0), rhs.shape.dim(1));
                 assert_eq!(k, k2, "matmul inner dim: {} vs {}", self.shape, rhs.shape);
-                let mut out = vec![0.0; n * m];
+                let mut out = Tensor::zeros([n, m]);
+                let od = out.data.make_mut();
                 if n * k * m < MATMUL_CUTOFF {
-                    matmul_kernel(&self.data, &rhs.data, &mut out, n, k, m);
+                    matmul_kernel(&self.data, &rhs.data, od, n, k, m);
                 } else {
                     // Row-blocks of the output: each task owns rows
                     // `[r0, r1)` of `out` and reads the same rows of `a`.
                     let row_grain = (MATMUL_CUTOFF / (k * m)).max(1);
-                    pool::parallel_chunks_mut(&mut out, row_grain * m, |start, chunk| {
+                    pool::parallel_chunks_mut(od, row_grain * m, |start, chunk| {
                         let r0 = start / m;
                         let rows = chunk.len() / m;
                         matmul_kernel(
@@ -340,24 +411,33 @@ impl Tensor {
                         );
                     });
                 }
-                Tensor::from_vec(out, [n, m])
+                out
             }
             (3, 2) => {
                 let (b, n, k) = (self.shape.dim(0), self.shape.dim(1), self.shape.dim(2));
                 let (k2, m) = (rhs.shape.dim(0), rhs.shape.dim(1));
                 assert_eq!(k, k2, "matmul inner dim: {} vs {}", self.shape, rhs.shape);
-                let mut out = vec![0.0; b * n * m];
-                batched_matmul(&self.data, None, &mut out, b, n, k, m, &rhs.data);
-                Tensor::from_vec(out, [b, n, m])
+                let mut out = Tensor::zeros([b, n, m]);
+                batched_matmul(&self.data, None, out.data.make_mut(), b, n, k, m, &rhs.data);
+                out
             }
             (3, 3) => {
                 let (b, n, k) = (self.shape.dim(0), self.shape.dim(1), self.shape.dim(2));
                 let (b2, k2, m) = (rhs.shape.dim(0), rhs.shape.dim(1), rhs.shape.dim(2));
                 assert_eq!(b, b2, "matmul batch dim: {} vs {}", self.shape, rhs.shape);
                 assert_eq!(k, k2, "matmul inner dim: {} vs {}", self.shape, rhs.shape);
-                let mut out = vec![0.0; b * n * m];
-                batched_matmul(&self.data, Some(k * m), &mut out, b, n, k, m, &rhs.data);
-                Tensor::from_vec(out, [b, n, m])
+                let mut out = Tensor::zeros([b, n, m]);
+                batched_matmul(
+                    &self.data,
+                    Some(k * m),
+                    out.data.make_mut(),
+                    b,
+                    n,
+                    k,
+                    m,
+                    &rhs.data,
+                );
+                out
             }
             _ => panic!(
                 "unsupported matmul ranks: {} x {}",
@@ -366,16 +446,92 @@ impl Tensor {
         }
     }
 
+    /// Fused `act(self @ w + bias)`. The matmul is the usual (possibly
+    /// parallel) kernel; bias and activation are applied in one serial pass
+    /// over the unique output buffer, so the result is bitwise identical to
+    /// the unfused `matmul` → broadcast-add → `map` chain while recording a
+    /// single tape node and allocating a single output.
+    pub fn matmul_bias_act(&self, w: &Tensor, bias: Option<&Tensor>, act: Act) -> Tensor {
+        let mut out = self.matmul(w);
+        if bias.is_none() && act == Act::Identity {
+            return out;
+        }
+        let m = out.shape.last_dim();
+        if let Some(b) = bias {
+            assert_eq!(b.numel(), m, "bias {} vs last dim {m}", b.shape());
+        }
+        let bd = bias.map(|b| b.data());
+        for (o, j) in out.data.make_mut().iter_mut().zip((0..m).cycle()) {
+            let pre = match bd {
+                Some(b) => *o + b[j],
+                None => *o,
+            };
+            *o = act.apply(pre);
+        }
+        out
+    }
+
+    /// Fused `(self @ rhs^T) * scale` without materializing the transpose.
+    /// Shapes: `[n, k] x [m, k] -> [n, m]` or batched `[b, n, k] x [b, m, k]
+    /// -> [b, n, m]`. Row dot-products accumulate in the same index order as
+    /// `matmul(rhs.transpose())`, so results match the unfused chain
+    /// bitwise; batched planes run in parallel above the work cutoff.
+    pub fn matmul_nt_scaled(&self, rhs: &Tensor, scale: f64) -> Tensor {
+        let rank = self.shape.rank();
+        assert_eq!(rank, rhs.shape.rank(), "matmul_nt rank: {} vs {}", self.shape, rhs.shape);
+        assert!(rank == 2 || rank == 3, "matmul_nt supports rank 2 or 3, got {}", self.shape);
+        let (b, n, k) = if rank == 2 {
+            (1, self.shape.dim(0), self.shape.dim(1))
+        } else {
+            (self.shape.dim(0), self.shape.dim(1), self.shape.dim(2))
+        };
+        let (b2, m, k2) = if rank == 2 {
+            (1, rhs.shape.dim(0), rhs.shape.dim(1))
+        } else {
+            (rhs.shape.dim(0), rhs.shape.dim(1), rhs.shape.dim(2))
+        };
+        assert_eq!(b, b2, "matmul_nt batch dim: {} vs {}", self.shape, rhs.shape);
+        assert_eq!(k, k2, "matmul_nt inner dim: {} vs {}", self.shape, rhs.shape);
+        let mut out = if rank == 2 {
+            Tensor::uninit(Shape::new([n, m]))
+        } else {
+            Tensor::uninit(Shape::new([b, n, m]))
+        };
+        let od = out.data.make_mut();
+        let plane = n * m;
+        let kernel_one = |bi: usize, dst: &mut [f64]| {
+            matmul_nt_kernel(
+                &self.data[bi * n * k..(bi + 1) * n * k],
+                &rhs.data[bi * m * k..(bi + 1) * m * k],
+                dst,
+                n,
+                k,
+                m,
+                scale,
+            );
+        };
+        if b * n * k * m < MATMUL_CUTOFF {
+            for (bi, dst) in od.chunks_mut(plane).enumerate() {
+                kernel_one(bi, dst);
+            }
+        } else {
+            pool::parallel_chunks_mut(od, plane, |start, chunk| {
+                kernel_one(start / plane, chunk);
+            });
+        }
+        out
+    }
+
     /// Swaps the last two dimensions, materializing the result. Batched
     /// inputs transpose their `[n, m]` planes in parallel.
     pub fn transpose(&self) -> Tensor {
         let rank = self.shape.rank();
         assert!(rank >= 2, "transpose requires rank >= 2, got {}", self.shape);
-        let out_shape = self.shape.transposed();
         let n = self.shape.dim(rank - 2);
         let m = self.shape.dim(rank - 1);
         let plane = n * m;
-        let mut data = vec![0.0; self.numel()];
+        let mut out = Tensor::uninit(self.shape.transposed());
+        let od = out.data.make_mut();
         let transpose_plane = |b: usize, dst: &mut [f64]| {
             let src = &self.data[b * plane..(b + 1) * plane];
             for i in 0..n {
@@ -385,15 +541,15 @@ impl Tensor {
             }
         };
         if self.numel() < ELEMENTWISE_CUTOFF {
-            for (b, dst) in data.chunks_mut(plane).enumerate() {
+            for (b, dst) in od.chunks_mut(plane).enumerate() {
                 transpose_plane(b, dst);
             }
         } else {
-            pool::parallel_chunks_mut(&mut data, plane, |start, chunk| {
+            pool::parallel_chunks_mut(od, plane, |start, chunk| {
                 transpose_plane(start / plane, chunk);
             });
         }
-        Tensor { data, shape: out_shape }
+        out
     }
 
     /// Softmax over the last dimension. Rows are independent, so row blocks
@@ -401,43 +557,85 @@ impl Tensor {
     pub fn softmax_last(&self) -> Tensor {
         let m = self.shape.last_dim();
         assert!(m > 0, "softmax over empty dim");
-        let mut data = vec![0.0; self.numel()];
+        let mut out = Tensor::uninit(self.shape);
+        let od = out.data.make_mut();
         let softmax_rows = |start: usize, out_rows: &mut [f64]| {
-            for (r, out) in out_rows.chunks_mut(m).enumerate() {
+            for (r, dst) in out_rows.chunks_mut(m).enumerate() {
                 let base = start + r * m;
                 let row = &self.data[base..base + m];
                 let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
                 let mut sum = 0.0;
-                for (o, &v) in out.iter_mut().zip(row) {
+                for (o, &v) in dst.iter_mut().zip(row) {
                     // If the whole row is -inf (fully masked), fall back to uniform.
                     let e = if max == f64::NEG_INFINITY { 1.0 } else { (v - max).exp() };
                     *o = e;
                     sum += e;
                 }
-                for o in out.iter_mut() {
+                for o in dst.iter_mut() {
                     *o /= sum;
                 }
             }
         };
         if self.numel() < ELEMENTWISE_CUTOFF {
-            softmax_rows(0, &mut data);
+            softmax_rows(0, od);
         } else {
-            pool::parallel_chunks_mut(&mut data, ROW_GRAIN * m, softmax_rows);
+            pool::parallel_chunks_mut(od, ROW_GRAIN * m, softmax_rows);
         }
-        Tensor { data, shape: self.shape.clone() }
+        out
+    }
+
+    /// Row-wise layer normalization over the last dimension. Returns the
+    /// normalized tensor and the per-row inverse standard deviation (needed
+    /// by the backward pass).
+    pub fn layer_norm_parts(&self, eps: f64) -> (Tensor, Tensor) {
+        let m = self.shape.last_dim();
+        let rows = self.numel() / m;
+        let mut normed = Tensor::uninit(self.shape);
+        let mut inv_std = Tensor::uninit(Shape::new([rows]));
+        let nd = normed.data.make_mut();
+        let isd = inv_std.data.make_mut();
+        for r in 0..rows {
+            let row = &self.data[r * m..(r + 1) * m];
+            let mean: f64 = row.iter().sum::<f64>() / m as f64;
+            let var: f64 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / m as f64;
+            let is = 1.0 / (var + eps).sqrt();
+            for (o, &v) in nd[r * m..(r + 1) * m].iter_mut().zip(row) {
+                *o = (v - mean) * is;
+            }
+            isd[r] = is;
+        }
+        (normed, inv_std)
+    }
+
+    /// Row-wise affine over the last dimension: `self * gamma + beta` with
+    /// `gamma`/`beta` of length `last_dim`. One pass, bitwise identical to
+    /// the broadcast `mul` → `add` chain.
+    pub fn scale_shift_last(&self, gamma: &Tensor, beta: &Tensor) -> Tensor {
+        let m = self.shape.last_dim();
+        assert_eq!(gamma.numel(), m, "gamma {} vs last dim {m}", gamma.shape());
+        assert_eq!(beta.numel(), m, "beta {} vs last dim {m}", beta.shape());
+        let (g, b) = (gamma.data(), beta.data());
+        let mut out = Tensor::uninit(self.shape);
+        let od = out.data.make_mut();
+        for (dst, src) in od.chunks_exact_mut(m).zip(self.data.chunks_exact(m)) {
+            for j in 0..m {
+                dst[j] = src[j] * g[j] + b[j];
+            }
+        }
+        out
     }
 
     /// Sums over the last dimension, dropping it.
     pub fn sum_last(&self) -> Tensor {
         let m = self.shape.last_dim().max(1);
         let rows = self.numel() / m;
-        let mut data = Vec::with_capacity(rows);
-        for r in 0..rows {
-            data.push(self.data[r * m..(r + 1) * m].iter().sum());
-        }
         let dims = self.shape.dims();
-        let out_dims: Vec<usize> = dims[..dims.len().saturating_sub(1)].to_vec();
-        Tensor { data, shape: Shape::new(out_dims) }
+        let mut out = Tensor::uninit(Shape::new(&dims[..dims.len().saturating_sub(1)]));
+        for (o, row) in out.data.make_mut().iter_mut().zip(self.data.chunks_exact(m)) {
+            *o = row.iter().sum();
+        }
+        debug_assert_eq!(out.numel(), rows);
+        out
     }
 
     /// Mean over the last dimension, dropping it.
@@ -454,25 +652,26 @@ impl Tensor {
         assert!(!parts.is_empty(), "concat of zero tensors");
         let rank = parts[0].shape.rank();
         assert!(rank >= 1, "concat requires rank >= 1");
-        let lead: Vec<usize> = parts[0].shape.dims()[..rank - 1].to_vec();
+        let lead = &parts[0].shape.dims()[..rank - 1];
         let rows: usize = lead.iter().product();
         let widths: Vec<usize> = parts
             .iter()
             .map(|p| {
-                assert_eq!(&p.shape.dims()[..rank - 1], lead.as_slice(), "concat leading dims");
+                assert_eq!(&p.shape.dims()[..rank - 1], lead, "concat leading dims");
                 p.shape.last_dim()
             })
             .collect();
         let total: usize = widths.iter().sum();
-        let mut data = Vec::with_capacity(rows * total);
+        let mut out = Tensor::uninit(parts[0].shape.with_last_dim(total));
+        let od = out.data.make_mut();
         for r in 0..rows {
+            let mut at = r * total;
             for (p, &w) in parts.iter().zip(&widths) {
-                data.extend_from_slice(&p.data[r * w..(r + 1) * w]);
+                od[at..at + w].copy_from_slice(&p.data[r * w..(r + 1) * w]);
+                at += w;
             }
         }
-        let mut dims = lead;
-        dims.push(total);
-        Tensor { data, shape: Shape::new(dims) }
+        out
     }
 
     /// Takes `len` columns starting at `start` from the last dimension.
@@ -480,13 +679,13 @@ impl Tensor {
         let m = self.shape.last_dim();
         assert!(start + len <= m, "narrow [{start}, {start}+{len}) out of last dim {m}");
         let rows = self.numel() / m;
-        let mut data = Vec::with_capacity(rows * len);
+        let mut out = Tensor::uninit(self.shape.with_last_dim(len));
+        let od = out.data.make_mut();
         for r in 0..rows {
-            data.extend_from_slice(&self.data[r * m + start..r * m + start + len]);
+            od[r * len..(r + 1) * len]
+                .copy_from_slice(&self.data[r * m + start..r * m + start + len]);
         }
-        let mut dims = self.shape.dims().to_vec();
-        *dims.last_mut().unwrap() = len;
-        Tensor { data, shape: Shape::new(dims) }
+        out
     }
 }
 
@@ -506,6 +705,31 @@ fn matmul_kernel(a: &[f64], b: &[f64], out: &mut [f64], n: usize, k: usize, m: u
             for (o, &b_lj) in out_row.iter_mut().zip(b_row) {
                 *o += a_il * b_lj;
             }
+        }
+    }
+}
+
+/// `out[n,m] = (a[n,k] . b[m,k]) * scale`: row-by-row dot products against
+/// an un-transposed `b`, accumulating over `k` in ascending order — the
+/// same summation order as `matmul_kernel` on a materialized transpose.
+fn matmul_nt_kernel(
+    a: &[f64],
+    b: &[f64],
+    out: &mut [f64],
+    n: usize,
+    k: usize,
+    m: usize,
+    scale: f64,
+) {
+    for i in 0..n {
+        let a_row = &a[i * k..(i + 1) * k];
+        for j in 0..m {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0;
+            for (&x, &y) in a_row.iter().zip(b_row) {
+                acc += x * y;
+            }
+            out[i * m + j] = acc * scale;
         }
     }
 }
@@ -560,11 +784,10 @@ fn is_suffix(small: &Shape, big: &Shape) -> bool {
 
 /// Strides for reading `src` as if broadcast to `target` (0-stride on
 /// broadcast dimensions).
-pub(crate) fn broadcast_strides(src: &Shape, target: &Shape) -> Vec<usize> {
+pub(crate) fn broadcast_strides(src: &Shape, target: &Shape) -> [usize; crate::shape::MAX_RANK] {
     let src_strides = src.strides();
-    let rank = target.rank();
-    let offset = rank - src.rank();
-    let mut out = vec![0usize; rank];
+    let offset = target.rank() - src.rank();
+    let mut out = [0usize; crate::shape::MAX_RANK];
     for d in 0..src.rank() {
         out[offset + d] = if src.dim(d) == 1 { 0 } else { src_strides[d] };
     }
@@ -574,7 +797,7 @@ pub(crate) fn broadcast_strides(src: &Shape, target: &Shape) -> Vec<usize> {
 impl fmt::Debug for Tensor {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.numel() <= 16 {
-            write!(f, "Tensor({}, {:?})", self.shape, self.data)
+            write!(f, "Tensor({}, {:?})", self.shape, self.data())
         } else {
             write!(
                 f,
@@ -616,6 +839,25 @@ mod tests {
     #[test]
     fn scalar_item() {
         assert_eq!(Tensor::scalar(3.5).item(), 3.5);
+    }
+
+    #[test]
+    fn clone_is_shared_and_cow_detaches() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], [2]);
+        let mut b = a.clone();
+        assert!(a.shares_storage(&b), "clone must share storage");
+        b.data_mut()[0] = 9.0;
+        assert!(!a.shares_storage(&b), "write must detach");
+        assert_eq!(a.data(), &[1.0, 2.0]);
+        assert_eq!(b.data(), &[9.0, 2.0]);
+    }
+
+    #[test]
+    fn reshape_shares_storage() {
+        let a = Tensor::from_vec((0..6).map(|v| v as f64).collect(), [2, 3]);
+        let r = a.reshape([3, 2]);
+        assert!(a.shares_storage(&r));
+        assert_eq!(r.at(&[2, 1]), 5.0);
     }
 
     #[test]
@@ -695,6 +937,47 @@ mod tests {
         assert_eq!(t.zip(&t, |a, b| a * b + 0.5).data(), serial.1.data());
         assert_eq!(t.softmax_last().data(), serial.2.data());
         assert_eq!(t.transpose().data(), serial.3.data());
+    }
+
+    #[test]
+    fn matmul_bias_act_matches_unfused() {
+        let x = Tensor::from_fn([3, 5, 4], |i| ((i * 13 % 23) as f64 - 11.0) * 0.21);
+        let w = Tensor::from_fn([4, 6], |i| ((i * 7 % 19) as f64 - 9.0) * 0.17);
+        let b = Tensor::from_fn([6], |i| i as f64 * 0.3 - 1.0);
+        for act in [Act::Identity, Act::Relu, Act::Sigmoid, Act::Tanh] {
+            let fused = x.matmul_bias_act(&w, Some(&b), act);
+            let unfused = x.matmul(&w).broadcast_zip(&b, |p, q| p + q).map(|v| act.apply(v));
+            assert_eq!(fused.data(), unfused.data(), "{act:?}");
+            let fused_nb = x.matmul_bias_act(&w, None, act);
+            let unfused_nb = x.matmul(&w).map(|v| act.apply(v));
+            assert_eq!(fused_nb.data(), unfused_nb.data(), "{act:?} (no bias)");
+        }
+    }
+
+    #[test]
+    fn matmul_nt_scaled_matches_unfused() {
+        let q = Tensor::from_fn([2, 5, 3], |i| ((i * 11 % 29) as f64 - 14.0) * 0.13);
+        let k = Tensor::from_fn([2, 7, 3], |i| ((i * 17 % 31) as f64 - 15.0) * 0.07);
+        let fused = q.matmul_nt_scaled(&k, 0.5);
+        let unfused = q.matmul(&k.transpose()).map(|v| v * 0.5);
+        assert_eq!(fused.data(), unfused.data());
+        assert_eq!(fused.shape().dims(), &[2, 5, 7]);
+        // 2-d form
+        let a = t2(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = t2(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        assert_eq!(a.matmul_nt_scaled(&b, 1.0).data(), a.matmul(&b.transpose()).data());
+    }
+
+    #[test]
+    fn scale_shift_last_matches_unfused() {
+        let x = Tensor::from_fn([4, 3], |i| i as f64 - 5.0);
+        let gamma = Tensor::from_slice(&[2.0, 0.5, -1.0]);
+        let beta = Tensor::from_slice(&[1.0, -1.0, 0.25]);
+        let fused = x.scale_shift_last(&gamma, &beta);
+        let unfused = x
+            .broadcast_zip(&gamma, |a, b| a * b)
+            .broadcast_zip(&beta, |a, b| a + b);
+        assert_eq!(fused.data(), unfused.data());
     }
 
     #[test]
@@ -806,5 +1089,15 @@ mod tests {
         assert_eq!(a.map(f64::abs).data(), &[1.0, 2.0]);
         let b = Tensor::from_slice(&[10.0, 10.0]);
         assert_eq!(a.zip(&b, |x, y| x + y).data(), &[11.0, 8.0]);
+    }
+
+    #[test]
+    fn add_assign_aliased_storage() {
+        // `x += x` through a shared handle: COW must snapshot the addend.
+        let mut a = Tensor::from_slice(&[1.0, 2.0]);
+        let alias = a.clone();
+        a.add_assign(&alias);
+        assert_eq!(a.data(), &[2.0, 4.0]);
+        assert_eq!(alias.data(), &[1.0, 2.0]);
     }
 }

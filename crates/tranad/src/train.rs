@@ -254,7 +254,7 @@ impl TrainedTranad {
     /// `s = ½‖O₁−Ŵ‖² + ½‖Ô₂−Ŵ‖²` per dimension).
     pub fn score_normalized(&self, normalized: &TimeSeries) -> Vec<Vec<f64>> {
         let config = *self.model.config();
-        let windows = Windows::new(normalized.clone(), config.window);
+        let windows = Windows::borrowed(normalized, config.window);
         let m = normalized.dims();
         let k = config.window;
         // Batches are independent eval-mode forward passes, so they run on

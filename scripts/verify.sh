@@ -16,4 +16,11 @@ cargo test --workspace -q
 echo "==> cargo clippy -D warnings (all targets)"
 cargo clippy --workspace --all-targets -q -- -D warnings
 
+echo "==> determinism across thread counts (TRANAD_THREADS=1 vs 8)"
+TRANAD_THREADS=1 cargo test --release -q -p tranad --test determinism
+TRANAD_THREADS=8 cargo test --release -q -p tranad --test determinism
+
+echo "==> allocations per training step (count-alloc)"
+cargo run --release -q -p tranad-bench --features count-alloc --bin bench-alloc
+
 echo "==> verify OK"
