@@ -9,7 +9,8 @@
 //! to slow drifts.
 
 use crate::common::{flatten_windows, last_row_sq_error, score_windows, sgd_step, NeuralConfig};
-use crate::detector::{Detector, FitReport};
+use crate::detector::{Detector, DetectorError, FitReport};
+use tranad_telemetry::Recorder;
 use tranad_data::{Normalizer, TimeSeries, Windows};
 use tranad_nn::layers::{Activation, FeedForward, Linear};
 use tranad_nn::optim::AdamW;
@@ -113,7 +114,11 @@ impl Detector for CaeM {
         "CAE-M"
     }
 
-    fn fit(&mut self, train: &TimeSeries) -> FitReport {
+    fn fit(
+        &mut self,
+        train: &TimeSeries,
+        rec: &Recorder,
+    ) -> Result<FitReport, DetectorError> {
         let cfg = self.config;
         let normalizer = Normalizer::fit(train);
         let normalized = normalizer.transform(train);
@@ -158,7 +163,7 @@ impl Detector for CaeM {
         let report = {
             let mut store = std::mem::take(&mut state.store);
             let st = &state;
-            let report = crate::common::epoch_loop(&mut store, &windows, cfg, |store, w, epoch| {
+            let report = crate::common::epoch_loop(&mut store, &windows, cfg, rec, |store, w, epoch| {
                 let flat = flatten_windows(w);
                 sgd_step(store, &mut opt, cfg.seed ^ epoch as u64, |ctx| {
                     let x = ctx.input(flat.clone());
@@ -180,13 +185,13 @@ impl Detector for CaeM {
         report
     }
 
-    fn score(&self, test: &TimeSeries) -> Vec<Vec<f64>> {
-        let state = self.state.as_ref().expect("fit before score");
-        self.score_batches(state, test)
+    fn score(&self, test: &TimeSeries) -> Result<Vec<Vec<f64>>, DetectorError> {
+        let state = self.state.as_ref().ok_or(DetectorError::NotFitted)?;
+        Ok(self.score_batches(state, test))
     }
 
-    fn train_scores(&self) -> &[Vec<f64>] {
-        &self.state.as_ref().expect("fit before train_scores").train_scores
+    fn train_scores(&self) -> Result<&[Vec<f64>], DetectorError> {
+        Ok(&self.state.as_ref().ok_or(DetectorError::NotFitted)?.train_scores)
     }
 }
 
@@ -208,9 +213,9 @@ mod tests {
     fn caem_detects_anomalies() {
         let train = toy_series(300, 2, 71);
         let mut det = CaeM::new(NeuralConfig::fast());
-        det.fit(&train);
+        det.fit(&train, &Recorder::disabled()).unwrap();
         let (test, range) = anomalous_copy(&train, 5.0);
-        let scores = det.score(&test);
+        let scores = det.score(&test).unwrap();
         let anom: f64 = range.clone().map(|t| scores[t][0]).sum::<f64>() / range.len() as f64;
         let norm: f64 = (30..150).map(|t| scores[t][0]).sum::<f64>() / 120.0;
         assert!(anom > 2.0 * norm, "anom {anom} vs norm {norm}");

@@ -1,11 +1,12 @@
 //! Shared training plumbing for the neural baselines: normalized window
 //! iteration, epoch loops with timing, and flattened-window helpers.
 
-use crate::detector::FitReport;
+use crate::detector::{DetectorError, FitReport};
 use std::time::Instant;
 use tranad_data::{Normalizer, SignalRng, TimeSeries, Windows};
 use tranad_nn::optim::AdamW;
 use tranad_nn::{Ctx, ParamId, ParamStore};
+use tranad_telemetry::Recorder;
 use tranad_tensor::{pool, Tensor, Var};
 
 /// Common hyperparameters for the neural baselines. Values follow the
@@ -52,6 +53,95 @@ impl NeuralConfig {
     pub fn fast() -> Self {
         NeuralConfig { epochs: 3, hidden: 16, batch: 64, ..Default::default() }
     }
+
+    /// Starts a validating builder from the defaults.
+    pub fn builder() -> NeuralConfigBuilder {
+        NeuralConfigBuilder { config: NeuralConfig::default() }
+    }
+
+    /// Checks every field is in range.
+    pub fn validate(&self) -> Result<(), DetectorError> {
+        let bad = |msg: &str| Err(DetectorError::InvalidConfig(msg.to_string()));
+        if self.window < 2 {
+            return bad("window must be at least 2 (forecasters need history)");
+        }
+        if self.hidden < 1 || self.latent < 1 {
+            return bad("hidden and latent widths must be at least 1");
+        }
+        if self.epochs < 1 {
+            return bad("epochs must be at least 1");
+        }
+        if self.batch < 1 {
+            return bad("batch must be at least 1");
+        }
+        if self.lr <= 0.0 || !self.lr.is_finite() {
+            return bad("lr must be positive and finite");
+        }
+        if self.max_windows < 1 {
+            return bad("max_windows must be at least 1");
+        }
+        Ok(())
+    }
+}
+
+/// Validating builder for [`NeuralConfig`]; `build` rejects out-of-range
+/// fields with [`DetectorError::InvalidConfig`].
+#[derive(Debug, Clone)]
+pub struct NeuralConfigBuilder {
+    config: NeuralConfig,
+}
+
+macro_rules! neural_setters {
+    ($($(#[$doc:meta])* $name:ident: $ty:ty),* $(,)?) => {
+        $($(#[$doc])*
+        pub fn $name(mut self, $name: $ty) -> Self {
+            self.config.$name = $name;
+            self
+        })*
+    };
+}
+
+impl NeuralConfigBuilder {
+    neural_setters! {
+        /// Sliding-window length.
+        window: usize,
+        /// Hidden width.
+        hidden: usize,
+        /// Latent width (autoencoder bottleneck).
+        latent: usize,
+        /// Training epochs.
+        epochs: usize,
+        /// Mini-batch size.
+        batch: usize,
+        /// AdamW learning rate.
+        lr: f64,
+        /// Upper bound on training windows visited per epoch.
+        max_windows: usize,
+        /// RNG seed.
+        seed: u64,
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<NeuralConfig, DetectorError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
+/// Shared `fit` input check: validates the config and requires enough
+/// timestamps to form at least one training window.
+pub fn check_fit_input(
+    train: &TimeSeries,
+    config: &NeuralConfig,
+) -> Result<(), DetectorError> {
+    config.validate()?;
+    if train.is_empty() {
+        return Err(DetectorError::EmptySeries);
+    }
+    if train.len() < config.window {
+        return Err(DetectorError::SeriesTooShort { needed: config.window, got: train.len() });
+    }
+    Ok(())
 }
 
 /// Fitted preprocessing state shared by the neural baselines.
@@ -66,13 +156,16 @@ pub struct Fitted {
 ///
 /// `step` receives `(store, window_batch [b,k,m], epoch)` and returns the
 /// batch loss; it owns its own backward/optimizer logic via the returned
-/// gradient application. Returns the mean epoch losses and timing.
+/// gradient application. Emits one `baseline.epoch` event per epoch (mean
+/// batch loss, wall time) and fails with [`DetectorError::NonFiniteLoss`]
+/// when training diverges instead of poisoning the scores with NaN.
 pub fn epoch_loop(
     store: &mut ParamStore,
     windows: &Windows,
     config: NeuralConfig,
+    rec: &Recorder,
     mut step: impl FnMut(&mut ParamStore, &Tensor, usize) -> f64,
-) -> FitReport {
+) -> Result<FitReport, DetectorError> {
     let mut rng = SignalRng::new(config.seed ^ 0xBA5E);
     let mut order: Vec<usize> = (0..windows.len()).collect();
     let mut secs = 0.0;
@@ -85,16 +178,27 @@ pub fn epoch_loop(
         }
         let start = Instant::now();
         let visited = &order[..order.len().min(config.max_windows)];
+        let mut loss_sum = 0.0;
+        let mut batches = 0usize;
         for batch in visited.chunks(config.batch) {
             let w = windows.batch(batch);
-            step(store, &w, epoch);
+            loss_sum += step(store, &w, epoch);
+            batches += 1;
         }
-        secs += start.elapsed().as_secs_f64();
+        let seconds = start.elapsed().as_secs_f64();
+        secs += seconds;
+        let loss = loss_sum / batches.max(1) as f64;
+        if !loss.is_finite() {
+            return Err(DetectorError::NonFiniteLoss { epoch });
+        }
+        rec.emit("baseline.epoch", |e| {
+            e.u64("epoch", epoch as u64).f64("loss", loss).f64("seconds", seconds);
+        });
     }
-    FitReport {
+    Ok(FitReport {
         seconds_per_epoch: secs / config.epochs.max(1) as f64,
         epochs: config.epochs,
-    }
+    })
 }
 
 /// One AdamW update given a closure producing the scalar loss; returns the

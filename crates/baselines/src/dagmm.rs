@@ -12,7 +12,8 @@
 //! compression).
 
 use crate::common::{flatten_windows, last_row_sq_error, score_windows, sgd_step, NeuralConfig};
-use crate::detector::{Detector, FitReport};
+use crate::detector::{Detector, DetectorError, FitReport};
+use tranad_telemetry::Recorder;
 use crate::gmm::DiagGmm;
 use tranad_data::{Normalizer, TimeSeries, Windows};
 use tranad_nn::layers::{Activation, FeedForward};
@@ -104,7 +105,11 @@ impl Detector for Dagmm {
         "DAGMM"
     }
 
-    fn fit(&mut self, train: &TimeSeries) -> FitReport {
+    fn fit(
+        &mut self,
+        train: &TimeSeries,
+        rec: &Recorder,
+    ) -> Result<FitReport, DetectorError> {
         let cfg = self.config;
         let normalizer = Normalizer::fit(train);
         let normalized = normalizer.transform(train);
@@ -132,7 +137,7 @@ impl Detector for Dagmm {
 
         let windows = Windows::borrowed(&normalized, cfg.window);
         let mut opt = AdamW::new(cfg.lr);
-        let report = crate::common::epoch_loop(&mut store, &windows, cfg, |store, w, epoch| {
+        let report = crate::common::epoch_loop(&mut store, &windows, cfg, rec, |store, w, epoch| {
             let flat = flatten_windows(w);
             let enc = &encoder;
             let dec = &decoder;
@@ -185,13 +190,13 @@ impl Detector for Dagmm {
         report
     }
 
-    fn score(&self, test: &TimeSeries) -> Vec<Vec<f64>> {
-        let state = self.state.as_ref().expect("fit before score");
-        self.score_batches(state, test)
+    fn score(&self, test: &TimeSeries) -> Result<Vec<Vec<f64>>, DetectorError> {
+        let state = self.state.as_ref().ok_or(DetectorError::NotFitted)?;
+        Ok(self.score_batches(state, test))
     }
 
-    fn train_scores(&self) -> &[Vec<f64>] {
-        &self.state.as_ref().expect("fit before train_scores").train_scores
+    fn train_scores(&self) -> Result<&[Vec<f64>], DetectorError> {
+        Ok(&self.state.as_ref().ok_or(DetectorError::NotFitted)?.train_scores)
     }
 }
 
@@ -204,9 +209,9 @@ mod tests {
     fn dagmm_scores_anomalies_higher() {
         let train = toy_series(400, 2, 11);
         let mut det = Dagmm::new(NeuralConfig::fast());
-        det.fit(&train);
+        det.fit(&train, &Recorder::disabled()).unwrap();
         let (test, range) = anomalous_copy(&train, 5.0);
-        let scores = det.score(&test);
+        let scores = det.score(&test).unwrap();
         let anom: f64 = range.clone().map(|t| scores[t][0]).sum::<f64>() / range.len() as f64;
         let norm: f64 = (30..150).map(|t| scores[t][0]).sum::<f64>() / 120.0;
         assert!(anom > 2.0 * norm, "anom {anom} vs norm {norm}");
@@ -216,7 +221,7 @@ mod tests {
     fn energy_is_finite_everywhere() {
         let train = toy_series(250, 3, 12);
         let mut det = Dagmm::new(NeuralConfig::fast());
-        det.fit(&train);
-        assert!(det.train_scores().iter().flatten().all(|v| v.is_finite()));
+        det.fit(&train, &Recorder::disabled()).unwrap();
+        assert!(det.train_scores().unwrap().iter().flatten().all(|v| v.is_finite()));
     }
 }

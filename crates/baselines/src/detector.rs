@@ -1,7 +1,15 @@
 //! The common interface every anomaly-detection method implements, so the
 //! benchmark harness can sweep methods × datasets uniformly.
+//!
+//! Every lifecycle method is fallible: a method that cannot handle its
+//! input (too short, wrong width, diverged training) reports a
+//! [`DetectorError`] instead of aborting the whole benchmark grid, and
+//! `fit` takes a [`Recorder`] so per-epoch progress lands in the trace.
 
 use tranad_data::TimeSeries;
+use tranad_telemetry::Recorder;
+
+pub use tranad::DetectorError;
 
 /// Training diagnostics shared by all methods (feeds Table 5).
 #[derive(Debug, Clone, Copy, Default)]
@@ -22,14 +30,17 @@ pub trait Detector {
     /// Method name as it appears in the paper's tables.
     fn name(&self) -> &'static str;
 
-    /// Fits the detector. Must be called before `score`.
-    fn fit(&mut self, train: &TimeSeries) -> FitReport;
+    /// Fits the detector, tracing progress to `rec`. Must succeed before
+    /// `score`.
+    fn fit(&mut self, train: &TimeSeries, rec: &Recorder) -> Result<FitReport, DetectorError>;
 
-    /// Per-dimension anomaly scores, `scores[t][d]`.
-    fn score(&self, test: &TimeSeries) -> Vec<Vec<f64>>;
+    /// Per-dimension anomaly scores, `scores[t][d]`. Fails with
+    /// [`DetectorError::NotFitted`] before a successful `fit`.
+    fn score(&self, test: &TimeSeries) -> Result<Vec<Vec<f64>>, DetectorError>;
 
-    /// Scores on the training series (the POT calibration sample).
-    fn train_scores(&self) -> &[Vec<f64>];
+    /// Scores on the training series (the POT calibration sample). Fails
+    /// with [`DetectorError::NotFitted`] before a successful `fit`.
+    fn train_scores(&self) -> Result<&[Vec<f64>], DetectorError>;
 
     /// Optional method-specific labeling (e.g. LSTM-NDT's NDT thresholds).
     /// `None` means the harness applies the shared POT procedure.
@@ -39,10 +50,21 @@ pub trait Detector {
 }
 
 /// Aggregates per-dimension scores into a per-timestamp score (mean).
-pub fn aggregate_scores(scores: &[Vec<f64>]) -> Vec<f64> {
+///
+/// An empty or NaN-containing row means the detector produced no usable
+/// score for that timestamp — previously this silently mapped to `0.0`
+/// ("perfectly normal"), hiding upstream bugs; now it is
+/// [`DetectorError::MalformedScores`].
+pub fn aggregate_scores(scores: &[Vec<f64>]) -> Result<Vec<f64>, DetectorError> {
     scores
         .iter()
-        .map(|row| row.iter().sum::<f64>() / row.len().max(1) as f64)
+        .enumerate()
+        .map(|(t, row)| {
+            if row.is_empty() || row.iter().any(|v| v.is_nan()) {
+                return Err(DetectorError::MalformedScores { timestamp: t });
+            }
+            Ok(row.iter().sum::<f64>() / row.len() as f64)
+        })
         .collect()
 }
 
@@ -53,12 +75,24 @@ mod tests {
     #[test]
     fn aggregate_is_row_mean() {
         let s = vec![vec![1.0, 3.0], vec![0.0, 0.0]];
-        assert_eq!(aggregate_scores(&s), vec![2.0, 0.0]);
+        assert_eq!(aggregate_scores(&s).unwrap(), vec![2.0, 0.0]);
     }
 
     #[test]
-    fn aggregate_empty_rows() {
-        let s: Vec<Vec<f64>> = vec![vec![]];
-        assert_eq!(aggregate_scores(&s), vec![0.0]);
+    fn aggregate_rejects_empty_rows() {
+        let s: Vec<Vec<f64>> = vec![vec![1.0], vec![]];
+        assert_eq!(
+            aggregate_scores(&s).unwrap_err(),
+            DetectorError::MalformedScores { timestamp: 1 }
+        );
+    }
+
+    #[test]
+    fn aggregate_rejects_nan_rows() {
+        let s = vec![vec![1.0, f64::NAN]];
+        assert_eq!(
+            aggregate_scores(&s).unwrap_err(),
+            DetectorError::MalformedScores { timestamp: 0 }
+        );
     }
 }

@@ -8,7 +8,8 @@
 //! similarity; forecasting and deviation scoring follow the original.
 
 use crate::common::{score_windows, sgd_step, split_history, NeuralConfig};
-use crate::detector::{Detector, FitReport};
+use crate::detector::{Detector, DetectorError, FitReport};
+use tranad_telemetry::Recorder;
 use tranad_data::{Normalizer, TimeSeries, Windows};
 use tranad_nn::layers::{Activation, FeedForward};
 use tranad_nn::optim::AdamW;
@@ -97,7 +98,11 @@ impl Detector for Gdn {
         "GDN"
     }
 
-    fn fit(&mut self, train: &TimeSeries) -> FitReport {
+    fn fit(
+        &mut self,
+        train: &TimeSeries,
+        rec: &Recorder,
+    ) -> Result<FitReport, DetectorError> {
         let cfg = self.config;
         assert!(cfg.window >= 2, "GDN forecasts from history");
         let normalizer = Normalizer::fit(train);
@@ -128,7 +133,7 @@ impl Detector for Gdn {
         let mut opt = AdamW::new(cfg.lr);
         let neighbors_ref = neighbors.clone();
         let forecasters_ref = &forecasters;
-        let report = crate::common::epoch_loop(&mut store, &windows, cfg, |store, w, epoch| {
+        let report = crate::common::epoch_loop(&mut store, &windows, cfg, rec, |store, w, epoch| {
             let (history, target) = split_history(w, cfg.window, dims);
             // Joint step over all sensors: sum of per-sensor forecast MSEs.
             sgd_step(store, &mut opt, cfg.seed ^ epoch as u64, |ctx| {
@@ -178,13 +183,13 @@ impl Detector for Gdn {
         report
     }
 
-    fn score(&self, test: &TimeSeries) -> Vec<Vec<f64>> {
-        let state = self.state.as_ref().expect("fit before score");
-        self.score_batches(state, test)
+    fn score(&self, test: &TimeSeries) -> Result<Vec<Vec<f64>>, DetectorError> {
+        let state = self.state.as_ref().ok_or(DetectorError::NotFitted)?;
+        Ok(self.score_batches(state, test))
     }
 
-    fn train_scores(&self) -> &[Vec<f64>] {
-        &self.state.as_ref().expect("fit before train_scores").train_scores
+    fn train_scores(&self) -> Result<&[Vec<f64>], DetectorError> {
+        Ok(&self.state.as_ref().ok_or(DetectorError::NotFitted)?.train_scores)
     }
 }
 
@@ -246,9 +251,9 @@ mod tests {
     fn gdn_detects_anomalies() {
         let train = toy_series(300, 3, 51);
         let mut det = Gdn::new(NeuralConfig::fast());
-        det.fit(&train);
+        det.fit(&train, &Recorder::disabled()).unwrap();
         let (test, range) = anomalous_copy(&train, 5.0);
-        let scores = det.score(&test);
+        let scores = det.score(&test).unwrap();
         let anom: f64 = range.clone().map(|t| scores[t][0]).sum::<f64>() / range.len() as f64;
         let norm: f64 = (30..150).map(|t| scores[t][0]).sum::<f64>() / 120.0;
         assert!(anom > 2.0 * norm, "anom {anom} vs norm {norm}");
@@ -258,8 +263,8 @@ mod tests {
     fn univariate_degenerates_gracefully() {
         let train = toy_series(200, 1, 52);
         let mut det = Gdn::new(NeuralConfig::fast());
-        det.fit(&train);
-        let scores = det.score(&train);
+        det.fit(&train, &Recorder::disabled()).unwrap();
+        let scores = det.score(&train).unwrap();
         assert_eq!(scores[0].len(), 1);
         assert!(scores.iter().flatten().all(|v| v.is_finite()));
     }

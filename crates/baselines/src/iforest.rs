@@ -5,7 +5,8 @@
 //! Standard iTrees over datapoint rows: anomalies isolate in few random
 //! splits, so the score is `2^(-E[h(x)] / c(n))`.
 
-use crate::detector::{Detector, FitReport};
+use crate::detector::{Detector, DetectorError, FitReport};
+use tranad_telemetry::Recorder;
 use std::time::Instant;
 use tranad_data::{Normalizer, SignalRng, TimeSeries};
 
@@ -147,7 +148,14 @@ impl Detector for IsolationForest {
         "IsolationForest"
     }
 
-    fn fit(&mut self, train: &TimeSeries) -> FitReport {
+    fn fit(
+        &mut self,
+        train: &TimeSeries,
+        rec: &Recorder,
+    ) -> Result<FitReport, DetectorError> {
+        if train.is_empty() {
+            return Err(DetectorError::EmptySeries);
+        }
         let start = Instant::now();
         let normalizer = Normalizer::fit(train);
         let normalized = normalizer.transform(train);
@@ -165,15 +173,25 @@ impl Detector for IsolationForest {
             .collect();
         self.normalizer = Some(normalizer);
         self.train_scores = self.score_rows(train);
-        FitReport { seconds_per_epoch: start.elapsed().as_secs_f64(), epochs: 1 }
+        let seconds = start.elapsed().as_secs_f64();
+        rec.emit("baseline.fit", |e| {
+            e.str("method", "IsolationForest").f64("seconds", seconds);
+        });
+        Ok(FitReport { seconds_per_epoch: seconds, epochs: 1 })
     }
 
-    fn score(&self, test: &TimeSeries) -> Vec<Vec<f64>> {
-        self.score_rows(test)
+    fn score(&self, test: &TimeSeries) -> Result<Vec<Vec<f64>>, DetectorError> {
+        if self.normalizer.is_none() {
+            return Err(DetectorError::NotFitted);
+        }
+        Ok(self.score_rows(test))
     }
 
-    fn train_scores(&self) -> &[Vec<f64>] {
-        &self.train_scores
+    fn train_scores(&self) -> Result<&[Vec<f64>], DetectorError> {
+        if self.normalizer.is_none() {
+            return Err(DetectorError::NotFitted);
+        }
+        Ok(&self.train_scores)
     }
 }
 
@@ -186,9 +204,9 @@ mod tests {
     fn iforest_scores_outliers_higher() {
         let train = toy_series(500, 2, 81);
         let mut det = IsolationForest::new(IForestConfig::default());
-        det.fit(&train);
+        det.fit(&train, &Recorder::disabled()).unwrap();
         let (test, range) = anomalous_copy(&train, 6.0);
-        let scores = det.score(&test);
+        let scores = det.score(&test).unwrap();
         let anom: f64 = range.clone().map(|t| scores[t][0]).sum::<f64>() / range.len() as f64;
         let norm: f64 = (30..150).map(|t| scores[t][0]).sum::<f64>() / 120.0;
         assert!(anom > norm, "anom {anom} vs norm {norm}");
@@ -198,9 +216,9 @@ mod tests {
     fn scores_in_unit_interval() {
         let train = toy_series(300, 3, 82);
         let mut det = IsolationForest::new(IForestConfig { trees: 20, ..Default::default() });
-        det.fit(&train);
+        det.fit(&train, &Recorder::disabled()).unwrap();
         assert!(det
-            .train_scores()
+            .train_scores().unwrap()
             .iter()
             .flatten()
             .all(|&v| (0.0..=1.0).contains(&v)));

@@ -40,8 +40,8 @@ pub mod tranad_adapter;
 #[cfg(test)]
 pub(crate) mod testutil;
 
-pub use common::NeuralConfig;
-pub use detector::{aggregate_scores, Detector, FitReport};
+pub use common::{NeuralConfig, NeuralConfigBuilder};
+pub use detector::{aggregate_scores, Detector, DetectorError, FitReport};
 pub use merlin::{Merlin, MerlinConfig};
 pub use tranad_adapter::TranadDetector;
 

@@ -2,8 +2,8 @@
 //! next-step prediction errors, thresholded with Non-parametric Dynamic
 //! Thresholding rather than POT.
 
-use crate::common::{score_windows, sgd_step, split_history, NeuralConfig};
-use crate::detector::{aggregate_scores, Detector, FitReport};
+use crate::common::{check_fit_input, score_windows, sgd_step, split_history, NeuralConfig};
+use crate::detector::{aggregate_scores, Detector, DetectorError, FitReport};
 use std::time::Instant;
 use tranad_data::{Normalizer, SignalRng, TimeSeries, Windows};
 use tranad_evt::{Ndt, NdtConfig};
@@ -11,6 +11,7 @@ use tranad_nn::layers::Linear;
 use tranad_nn::optim::AdamW;
 use tranad_nn::rnn::LstmCell;
 use tranad_nn::{Ctx, Init, ParamStore};
+use tranad_telemetry::Recorder;
 use tranad_tensor::Tensor;
 
 
@@ -77,9 +78,13 @@ impl Detector for LstmNdt {
         "LSTM-NDT"
     }
 
-    fn fit(&mut self, train: &TimeSeries) -> FitReport {
+    fn fit(
+        &mut self,
+        train: &TimeSeries,
+        rec: &Recorder,
+    ) -> Result<FitReport, DetectorError> {
         let cfg = self.config;
-        assert!(cfg.window >= 2, "LSTM-NDT needs history to forecast from");
+        check_fit_input(train, &cfg)?;
         let normalizer = Normalizer::fit(train);
         let normalized = normalizer.transform(train);
         let dims = train.dims();
@@ -101,6 +106,8 @@ impl Detector for LstmNdt {
                 order.swap(i, j);
             }
             let visited = &order[..order.len().min(cfg.max_windows)];
+            let mut loss_sum = 0.0;
+            let mut batches = 0usize;
             for batch in visited.chunks(cfg.batch) {
                 let w = windows.batch(batch);
                 let (history, target) = split_history(&w, cfg.window, dims);
@@ -108,7 +115,7 @@ impl Detector for LstmNdt {
                 let hidden = cfg.hidden;
                 let lstm_ref = &lstm;
                 let head_ref = &head;
-                sgd_step(&mut store, &mut opt, cfg.seed ^ epoch as u64, |ctx| {
+                loss_sum += sgd_step(&mut store, &mut opt, cfg.seed ^ epoch as u64, |ctx| {
                     let hs = lstm_ref.run(ctx, &ctx.input(history.clone()));
                     // Differentiable slice of the final hidden state.
                     let last = hs
@@ -117,8 +124,17 @@ impl Detector for LstmNdt {
                     let pred = head_ref.forward(ctx, &last);
                     pred.mse(&ctx.input(target.clone()))
                 });
+                batches += 1;
             }
-            secs += start.elapsed().as_secs_f64();
+            let seconds = start.elapsed().as_secs_f64();
+            secs += seconds;
+            let loss = loss_sum / batches.max(1) as f64;
+            if !loss.is_finite() {
+                return Err(DetectorError::NonFiniteLoss { epoch });
+            }
+            rec.emit("baseline.epoch", |e| {
+                e.u64("epoch", epoch as u64).f64("loss", loss).f64("seconds", seconds);
+            });
         }
 
         let mut state = LstmNdtState {
@@ -132,22 +148,22 @@ impl Detector for LstmNdt {
         state.train_scores = self.score_batches(&state, train);
         let _ = state.dims;
         self.state = Some(state);
-        FitReport { seconds_per_epoch: secs / cfg.epochs.max(1) as f64, epochs: cfg.epochs }
+        Ok(FitReport { seconds_per_epoch: secs / cfg.epochs.max(1) as f64, epochs: cfg.epochs })
     }
 
-    fn score(&self, test: &TimeSeries) -> Vec<Vec<f64>> {
-        let state = self.state.as_ref().expect("fit before score");
-        self.score_batches(state, test)
+    fn score(&self, test: &TimeSeries) -> Result<Vec<Vec<f64>>, DetectorError> {
+        let state = self.state.as_ref().ok_or(DetectorError::NotFitted)?;
+        Ok(self.score_batches(state, test))
     }
 
-    fn train_scores(&self) -> &[Vec<f64>] {
-        &self.state.as_ref().expect("fit before train_scores").train_scores
+    fn train_scores(&self) -> Result<&[Vec<f64>], DetectorError> {
+        Ok(&self.state.as_ref().ok_or(DetectorError::NotFitted)?.train_scores)
     }
 
     /// NDT thresholding of the aggregate error sequence — the method's own
     /// labeling strategy, which the paper credits for its uneven results.
     fn native_labels(&self, test: &TimeSeries) -> Option<Vec<bool>> {
-        let scores = aggregate_scores(&self.score(test));
+        let scores = aggregate_scores(&self.score(test).ok()?).ok()?;
         let ndt = Ndt::fit(&scores, NdtConfig::default());
         Some(ndt.label(&scores))
     }
@@ -162,8 +178,8 @@ mod tests {
     fn forecaster_learns_sine() {
         let train = toy_series(400, 1, 7);
         let mut det = LstmNdt::new(NeuralConfig::fast());
-        det.fit(&train);
-        let scores = aggregate_scores(det.train_scores());
+        det.fit(&train, &Recorder::disabled()).unwrap();
+        let scores = aggregate_scores(det.train_scores().unwrap()).unwrap();
         let mean = scores.iter().sum::<f64>() / scores.len() as f64;
         assert!(mean < 0.1, "forecast error too high: {mean}");
     }
@@ -172,9 +188,9 @@ mod tests {
     fn anomalies_score_higher() {
         let train = toy_series(400, 2, 8);
         let mut det = LstmNdt::new(NeuralConfig::fast());
-        det.fit(&train);
+        det.fit(&train, &Recorder::disabled()).unwrap();
         let (test, range) = anomalous_copy(&train, 5.0);
-        let scores = det.score(&test);
+        let scores = det.score(&test).unwrap();
         let anom: f64 = range.clone().map(|t| scores[t][0]).sum::<f64>() / range.len() as f64;
         let norm: f64 = (30..150).map(|t| scores[t][0]).sum::<f64>() / 120.0;
         assert!(anom > 3.0 * norm, "anom {anom} vs norm {norm}");
@@ -184,7 +200,7 @@ mod tests {
     fn native_labels_use_ndt() {
         let train = toy_series(300, 1, 9);
         let mut det = LstmNdt::new(NeuralConfig::fast());
-        det.fit(&train);
+        det.fit(&train, &Recorder::disabled()).unwrap();
         let (test, range) = anomalous_copy(&train, 6.0);
         let labels = det.native_labels(&test).expect("LSTM-NDT labels natively");
         assert!(range.clone().any(|t| labels[t]), "anomaly not flagged");

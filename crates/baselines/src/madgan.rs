@@ -7,7 +7,8 @@
 //! windows vs. generator reconstructions. Score = λ·recon + (1−λ)·(1−D(x)).
 
 use crate::common::{last_row_sq_error, score_windows, NeuralConfig};
-use crate::detector::{Detector, FitReport};
+use crate::detector::{Detector, DetectorError, FitReport};
+use tranad_telemetry::Recorder;
 use std::collections::HashSet;
 use std::time::Instant;
 use tranad_data::{Normalizer, SignalRng, TimeSeries, Windows};
@@ -90,8 +91,13 @@ impl Detector for MadGan {
         "MAD-GAN"
     }
 
-    fn fit(&mut self, train: &TimeSeries) -> FitReport {
+    fn fit(
+        &mut self,
+        train: &TimeSeries,
+        rec: &Recorder,
+    ) -> Result<FitReport, DetectorError> {
         let cfg = self.config;
+        crate::common::check_fit_input(train, &cfg)?;
         let normalizer = Normalizer::fit(train);
         let normalized = normalizer.transform(train);
         let dims = train.dims();
@@ -198,21 +204,25 @@ impl Detector for MadGan {
                     state.store = store;
                 }
             }
-            secs += start.elapsed().as_secs_f64();
+            let seconds = start.elapsed().as_secs_f64();
+            secs += seconds;
+            rec.emit("baseline.epoch", |e| {
+                e.u64("epoch", epoch as u64).f64("seconds", seconds);
+            });
         }
 
         state.train_scores = self.score_batches(&state, train);
         self.state = Some(state);
-        FitReport { seconds_per_epoch: secs / cfg.epochs.max(1) as f64, epochs: cfg.epochs }
+        Ok(FitReport { seconds_per_epoch: secs / cfg.epochs.max(1) as f64, epochs: cfg.epochs })
     }
 
-    fn score(&self, test: &TimeSeries) -> Vec<Vec<f64>> {
-        let state = self.state.as_ref().expect("fit before score");
-        self.score_batches(state, test)
+    fn score(&self, test: &TimeSeries) -> Result<Vec<Vec<f64>>, DetectorError> {
+        let state = self.state.as_ref().ok_or(DetectorError::NotFitted)?;
+        Ok(self.score_batches(state, test))
     }
 
-    fn train_scores(&self) -> &[Vec<f64>] {
-        &self.state.as_ref().expect("fit before train_scores").train_scores
+    fn train_scores(&self) -> Result<&[Vec<f64>], DetectorError> {
+        Ok(&self.state.as_ref().ok_or(DetectorError::NotFitted)?.train_scores)
     }
 }
 
@@ -225,9 +235,9 @@ mod tests {
     fn madgan_detects_injected_anomalies() {
         let train = toy_series(300, 2, 31);
         let mut det = MadGan::new(NeuralConfig::fast());
-        det.fit(&train);
+        det.fit(&train, &Recorder::disabled()).unwrap();
         let (test, range) = anomalous_copy(&train, 5.0);
-        let scores = det.score(&test);
+        let scores = det.score(&test).unwrap();
         let anom: f64 = range.clone().map(|t| scores[t][0]).sum::<f64>() / range.len() as f64;
         let norm: f64 = (30..150).map(|t| scores[t][0]).sum::<f64>() / 120.0;
         assert!(anom > 1.5 * norm, "anom {anom} vs norm {norm}");
@@ -237,8 +247,8 @@ mod tests {
     fn discriminator_output_in_unit_interval() {
         let train = toy_series(200, 1, 32);
         let mut det = MadGan::new(NeuralConfig::fast());
-        det.fit(&train);
-        let scores = det.score(&train);
+        det.fit(&train, &Recorder::disabled()).unwrap();
+        let scores = det.score(&train).unwrap();
         assert!(scores.iter().flatten().all(|&v| v.is_finite() && v >= 0.0));
     }
 }

@@ -19,7 +19,8 @@
 //! mean), which preserves its Table 2 behaviour: strong on NAB/UCR, weak on
 //! the wide datasets.
 
-use crate::detector::{Detector, FitReport};
+use crate::detector::{Detector, DetectorError, FitReport};
+use tranad_telemetry::Recorder;
 use std::time::Instant;
 use tranad_data::TimeSeries;
 
@@ -142,22 +143,38 @@ impl Detector for Merlin {
         "MERLIN"
     }
 
-    fn fit(&mut self, train: &TimeSeries) -> FitReport {
+    fn fit(
+        &mut self,
+        train: &TimeSeries,
+        rec: &Recorder,
+    ) -> Result<FitReport, DetectorError> {
         // MERLIN needs no training; the paper reports its test-set discord
         // discovery time as the Table 5 entry. We time discovery on the
         // training series here to populate the calibration scores.
+        if train.is_empty() {
+            return Err(DetectorError::EmptySeries);
+        }
         let start = Instant::now();
         self.train_scores = self.score_series(train);
         self.discovery_seconds = start.elapsed().as_secs_f64();
-        FitReport { seconds_per_epoch: self.discovery_seconds, epochs: 1 }
+        rec.emit("baseline.fit", |e| {
+            e.str("method", "MERLIN").f64("seconds", self.discovery_seconds);
+        });
+        Ok(FitReport { seconds_per_epoch: self.discovery_seconds, epochs: 1 })
     }
 
-    fn score(&self, test: &TimeSeries) -> Vec<Vec<f64>> {
-        self.score_series(test)
+    fn score(&self, test: &TimeSeries) -> Result<Vec<Vec<f64>>, DetectorError> {
+        if self.train_scores.is_empty() {
+            return Err(DetectorError::NotFitted);
+        }
+        Ok(self.score_series(test))
     }
 
-    fn train_scores(&self) -> &[Vec<f64>] {
-        &self.train_scores
+    fn train_scores(&self) -> Result<&[Vec<f64>], DetectorError> {
+        if self.train_scores.is_empty() {
+            return Err(DetectorError::NotFitted);
+        }
+        Ok(&self.train_scores)
     }
 
     /// MERLIN's native labeling: a test subsequence is a discord-anomaly if
@@ -329,8 +346,8 @@ mod tests {
         let test = sine_with_discord(400, Some(200));
         let mut merlin = Merlin::new(MerlinConfig::optimized(8, 16));
         let ts = TimeSeries::from_columns(&[train]);
-        merlin.fit(&ts);
-        let scores = merlin.score(&TimeSeries::from_columns(&[test]));
+        merlin.fit(&ts, &Recorder::disabled()).unwrap();
+        let scores = merlin.score(&TimeSeries::from_columns(&[test])).unwrap();
         let anom: f64 = (200..215).map(|t| scores[t][0]).sum::<f64>() / 15.0;
         let norm: f64 = (50..150).map(|t| scores[t][0]).sum::<f64>() / 100.0;
         assert!(anom > 1.5 * norm, "anom {anom} vs norm {norm}");
@@ -344,8 +361,8 @@ mod tests {
             .collect();
         let ts = TimeSeries::from_columns(&cols);
         let mut merlin = Merlin::new(MerlinConfig { max_dims: 2, ..MerlinConfig::optimized(8, 12) });
-        merlin.fit(&ts);
-        let scores = merlin.score(&ts);
+        merlin.fit(&ts, &Recorder::disabled()).unwrap();
+        let scores = merlin.score(&ts).unwrap();
         assert_eq!(scores[0].len(), 8);
         // Dims beyond the cap share the fallback profile.
         assert_eq!(scores[50][3], scores[50][7]);
@@ -355,8 +372,8 @@ mod tests {
     fn short_series_yields_zero_scores() {
         let ts = TimeSeries::from_columns(&[vec![1.0; 12]]);
         let mut merlin = Merlin::new(MerlinConfig::optimized(10, 40));
-        merlin.fit(&ts);
-        let scores = merlin.score(&ts);
+        merlin.fit(&ts, &Recorder::disabled()).unwrap();
+        let scores = merlin.score(&ts).unwrap();
         assert!(scores.iter().flatten().all(|&v| v == 0.0));
     }
 

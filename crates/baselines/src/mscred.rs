@@ -13,7 +13,8 @@
 //! scalability ceiling the paper notes for MSCRED.
 
 use crate::common::{score_windows, sgd_step, NeuralConfig};
-use crate::detector::{Detector, FitReport};
+use crate::detector::{Detector, DetectorError, FitReport};
+use tranad_telemetry::Recorder;
 use tranad_data::{Normalizer, TimeSeries, Windows};
 use tranad_nn::layers::{Activation, FeedForward};
 use tranad_nn::optim::AdamW;
@@ -141,7 +142,11 @@ impl Detector for Mscred {
         "MSCRED"
     }
 
-    fn fit(&mut self, train: &TimeSeries) -> FitReport {
+    fn fit(
+        &mut self,
+        train: &TimeSeries,
+        rec: &Recorder,
+    ) -> Result<FitReport, DetectorError> {
         let cfg = self.config;
         let normalizer = Normalizer::fit(train);
         let normalized = normalizer.transform(train);
@@ -170,7 +175,7 @@ impl Detector for Mscred {
         let k = cfg.window;
         let (co, ch, sc) = (channel_of.clone(), channels, scales.clone());
         let ae = &autoencoder;
-        let report = crate::common::epoch_loop(&mut store, &windows, cfg, |store, w, epoch| {
+        let report = crate::common::epoch_loop(&mut store, &windows, cfg, rec, |store, w, epoch| {
             let b = w.shape().dim(0);
             let mut rows = Vec::with_capacity(b * sig_len);
             for bi in 0..b {
@@ -198,13 +203,13 @@ impl Detector for Mscred {
         report
     }
 
-    fn score(&self, test: &TimeSeries) -> Vec<Vec<f64>> {
-        let state = self.state.as_ref().expect("fit before score");
-        self.score_batches(state, test)
+    fn score(&self, test: &TimeSeries) -> Result<Vec<Vec<f64>>, DetectorError> {
+        let state = self.state.as_ref().ok_or(DetectorError::NotFitted)?;
+        Ok(self.score_batches(state, test))
     }
 
-    fn train_scores(&self) -> &[Vec<f64>] {
-        &self.state.as_ref().expect("fit before train_scores").train_scores
+    fn train_scores(&self) -> Result<&[Vec<f64>], DetectorError> {
+        Ok(&self.state.as_ref().ok_or(DetectorError::NotFitted)?.train_scores)
     }
 }
 
@@ -217,9 +222,9 @@ mod tests {
     fn mscred_detects_anomalies() {
         let train = toy_series(300, 3, 61);
         let mut det = Mscred::new(NeuralConfig::fast());
-        det.fit(&train);
+        det.fit(&train, &Recorder::disabled()).unwrap();
         let (test, range) = anomalous_copy(&train, 5.0);
-        let scores = det.score(&test);
+        let scores = det.score(&test).unwrap();
         let anom: f64 = range.clone().map(|t| scores[t][0]).sum::<f64>() / range.len() as f64;
         let norm: f64 = (30..150).map(|t| scores[t][0]).sum::<f64>() / 120.0;
         assert!(anom > 1.5 * norm, "anom {anom} vs norm {norm}");
@@ -229,11 +234,11 @@ mod tests {
     fn pooling_caps_signature_size() {
         let train = toy_series(150, 30, 62);
         let mut det = Mscred::new(NeuralConfig::fast());
-        det.fit(&train);
+        det.fit(&train, &Recorder::disabled()).unwrap();
         let st = det.state.as_ref().unwrap();
         assert!(st.channels <= 12);
         assert_eq!(st.channel_of.len(), 30);
-        let scores = det.score(&train);
+        let scores = det.score(&train).unwrap();
         assert_eq!(scores[0].len(), 30);
     }
 }

@@ -8,7 +8,8 @@
 
 use crate::common::{score_windows, sgd_step, NeuralConfig};
 
-use crate::detector::{Detector, FitReport};
+use crate::detector::{Detector, DetectorError, FitReport};
+use tranad_telemetry::Recorder;
 use tranad_data::{Normalizer, TimeSeries, Windows};
 use tranad_nn::attention::scaled_dot_attention;
 use tranad_nn::layers::Linear;
@@ -90,7 +91,11 @@ impl Detector for MtadGat {
         "MTAD-GAT"
     }
 
-    fn fit(&mut self, train: &TimeSeries) -> FitReport {
+    fn fit(
+        &mut self,
+        train: &TimeSeries,
+        rec: &Recorder,
+    ) -> Result<FitReport, DetectorError> {
         let cfg = self.config;
         assert!(cfg.window >= 2, "MTAD-GAT forecasts from history");
         let normalizer = Normalizer::fit(train);
@@ -120,7 +125,7 @@ impl Detector for MtadGat {
         let report = {
             let mut store = std::mem::take(&mut state.store);
             let st = &state;
-            let report = crate::common::epoch_loop(&mut store, &windows, cfg, |store, w, epoch| {
+            let report = crate::common::epoch_loop(&mut store, &windows, cfg, rec, |store, w, epoch| {
                 let (history, target) = crate::common::split_history(w, cfg.window, dims);
                 sgd_step(store, &mut opt, cfg.seed ^ epoch as u64, |ctx| {
                     let pred = Self::forecast(st, ctx, &ctx.input(history.clone()));
@@ -136,13 +141,13 @@ impl Detector for MtadGat {
         report
     }
 
-    fn score(&self, test: &TimeSeries) -> Vec<Vec<f64>> {
-        let state = self.state.as_ref().expect("fit before score");
-        self.score_batches(state, test)
+    fn score(&self, test: &TimeSeries) -> Result<Vec<Vec<f64>>, DetectorError> {
+        let state = self.state.as_ref().ok_or(DetectorError::NotFitted)?;
+        Ok(self.score_batches(state, test))
     }
 
-    fn train_scores(&self) -> &[Vec<f64>] {
-        &self.state.as_ref().expect("fit before train_scores").train_scores
+    fn train_scores(&self) -> Result<&[Vec<f64>], DetectorError> {
+        Ok(&self.state.as_ref().ok_or(DetectorError::NotFitted)?.train_scores)
     }
 }
 
@@ -155,9 +160,9 @@ mod tests {
     fn mtad_gat_detects_anomalies() {
         let train = toy_series(300, 3, 41);
         let mut det = MtadGat::new(NeuralConfig::fast());
-        det.fit(&train);
+        det.fit(&train, &Recorder::disabled()).unwrap();
         let (test, range) = anomalous_copy(&train, 5.0);
-        let scores = det.score(&test);
+        let scores = det.score(&test).unwrap();
         let anom: f64 = range.clone().map(|t| scores[t][0]).sum::<f64>() / range.len() as f64;
         let norm: f64 = (30..150).map(|t| scores[t][0]).sum::<f64>() / 120.0;
         assert!(anom > 2.0 * norm, "anom {anom} vs norm {norm}");
@@ -167,8 +172,8 @@ mod tests {
     fn score_dimensions_match() {
         let train = toy_series(150, 4, 42);
         let mut det = MtadGat::new(NeuralConfig::fast());
-        det.fit(&train);
-        let scores = det.score(&train);
+        det.fit(&train, &Recorder::disabled()).unwrap();
+        let scores = det.score(&train).unwrap();
         assert_eq!(scores.len(), 150);
         assert_eq!(scores[0].len(), 4);
     }

@@ -7,7 +7,8 @@
 //! which survives this simplification.
 
 use crate::common::{last_row_sq_error, score_windows, sgd_step, NeuralConfig};
-use crate::detector::{Detector, FitReport};
+use crate::detector::{Detector, DetectorError, FitReport};
+use tranad_telemetry::Recorder;
 use tranad_data::{Normalizer, SignalRng, TimeSeries, Windows};
 use tranad_nn::layers::{Activation, FeedForward, Linear};
 use tranad_nn::optim::AdamW;
@@ -73,7 +74,11 @@ impl Detector for OmniAnomaly {
         "OmniAnomaly"
     }
 
-    fn fit(&mut self, train: &TimeSeries) -> FitReport {
+    fn fit(
+        &mut self,
+        train: &TimeSeries,
+        rec: &Recorder,
+    ) -> Result<FitReport, DetectorError> {
         let cfg = self.config;
         let normalizer = Normalizer::fit(train);
         let normalized = normalizer.transform(train);
@@ -113,7 +118,7 @@ impl Detector for OmniAnomaly {
         let report = {
             let mut local_store = std::mem::take(&mut state.store);
             let st = &state;
-            let report = crate::common::epoch_loop(&mut local_store, &windows, cfg, |store, w, epoch| {
+            let report = crate::common::epoch_loop(&mut local_store, &windows, cfg, rec, |store, w, epoch| {
                 let b = w.shape().dim(0);
                 let latent = cfg.latent;
                 let noise = Tensor::from_fn([b, latent], |_| noise_rng.normal());
@@ -143,13 +148,13 @@ impl Detector for OmniAnomaly {
         report
     }
 
-    fn score(&self, test: &TimeSeries) -> Vec<Vec<f64>> {
-        let state = self.state.as_ref().expect("fit before score");
-        self.score_batches(state, test)
+    fn score(&self, test: &TimeSeries) -> Result<Vec<Vec<f64>>, DetectorError> {
+        let state = self.state.as_ref().ok_or(DetectorError::NotFitted)?;
+        Ok(self.score_batches(state, test))
     }
 
-    fn train_scores(&self) -> &[Vec<f64>] {
-        &self.state.as_ref().expect("fit before train_scores").train_scores
+    fn train_scores(&self) -> Result<&[Vec<f64>], DetectorError> {
+        Ok(&self.state.as_ref().ok_or(DetectorError::NotFitted)?.train_scores)
     }
 }
 
@@ -162,9 +167,9 @@ mod tests {
     fn omni_reconstructs_and_detects() {
         let train = toy_series(400, 2, 21);
         let mut det = OmniAnomaly::new(NeuralConfig::fast());
-        det.fit(&train);
+        det.fit(&train, &Recorder::disabled()).unwrap();
         let (test, range) = anomalous_copy(&train, 5.0);
-        let scores = det.score(&test);
+        let scores = det.score(&test).unwrap();
         let anom: f64 = range.clone().map(|t| scores[t][0]).sum::<f64>() / range.len() as f64;
         let norm: f64 = (30..150).map(|t| scores[t][0]).sum::<f64>() / 120.0;
         assert!(anom > 2.0 * norm, "anom {anom} vs norm {norm}");
@@ -174,7 +179,7 @@ mod tests {
     fn deterministic_scoring() {
         let train = toy_series(200, 1, 22);
         let mut det = OmniAnomaly::new(NeuralConfig::fast());
-        det.fit(&train);
-        assert_eq!(det.score(&train), det.score(&train));
+        det.fit(&train, &Recorder::disabled()).unwrap();
+        assert_eq!(det.score(&train).unwrap(), det.score(&train).unwrap());
     }
 }

@@ -1,8 +1,9 @@
 //! Adapter implementing the shared [`Detector`] interface for the TranAD
 //! model, so the benchmark harness treats it exactly like every baseline.
 
-use crate::detector::{Detector, FitReport};
-use tranad::{train, TrainedTranad, TranadConfig};
+use crate::detector::{Detector, DetectorError, FitReport};
+use tranad::{train_with, TrainedTranad, TranadConfig};
+use tranad_telemetry::Recorder;
 use tranad_data::TimeSeries;
 
 /// TranAD wrapped as a [`Detector`].
@@ -39,28 +40,25 @@ impl Detector for TranadDetector {
         self.name
     }
 
-    fn fit(&mut self, train_series: &TimeSeries) -> FitReport {
-        let (trained, report) = train(train_series, self.config);
+    fn fit(
+        &mut self,
+        train_series: &TimeSeries,
+        rec: &Recorder,
+    ) -> Result<FitReport, DetectorError> {
+        let (trained, report) = train_with(train_series, self.config, rec)?;
         self.trained = Some(trained);
-        FitReport {
+        Ok(FitReport {
             seconds_per_epoch: report.seconds_per_epoch(),
             epochs: report.epochs_run,
-        }
+        })
     }
 
-    fn score(&self, test: &TimeSeries) -> Vec<Vec<f64>> {
-        self.trained
-            .as_ref()
-            .expect("fit before score")
-            .score_series(test)
+    fn score(&self, test: &TimeSeries) -> Result<Vec<Vec<f64>>, DetectorError> {
+        Ok(self.trained.as_ref().ok_or(DetectorError::NotFitted)?.score_series(test))
     }
 
-    fn train_scores(&self) -> &[Vec<f64>] {
-        &self
-            .trained
-            .as_ref()
-            .expect("fit before train_scores")
-            .train_scores
+    fn train_scores(&self) -> Result<&[Vec<f64>], DetectorError> {
+        Ok(&self.trained.as_ref().ok_or(DetectorError::NotFitted)?.train_scores)
     }
 }
 
@@ -84,10 +82,10 @@ mod tests {
     fn adapter_detects_anomalies() {
         let train_series = toy_series(300, 2, 91);
         let mut det = TranadDetector::new(fast_config());
-        let report = det.fit(&train_series);
+        let report = det.fit(&train_series, &Recorder::disabled()).unwrap();
         assert!(report.epochs >= 1);
         let (test, range) = anomalous_copy(&train_series, 5.0);
-        let scores = det.score(&test);
+        let scores = det.score(&test).unwrap();
         let anom: f64 = range.clone().map(|t| scores[t][0]).sum::<f64>() / range.len() as f64;
         let norm: f64 = (30..150).map(|t| scores[t][0]).sum::<f64>() / 120.0;
         assert!(anom > 3.0 * norm, "anom {anom} vs norm {norm}");

@@ -9,7 +9,8 @@
 //! `α‖AE1(w)−w‖ + β‖AE2(AE1(w))−w‖` (α = β = 0.5 here).
 
 use crate::common::{flatten_windows, last_row_sq_error, score_windows, sgd_step, NeuralConfig};
-use crate::detector::{Detector, FitReport};
+use crate::detector::{Detector, DetectorError, FitReport};
+use tranad_telemetry::Recorder;
 use std::collections::HashSet;
 use std::time::Instant;
 use tranad_data::{Normalizer, SignalRng, TimeSeries, Windows};
@@ -81,8 +82,13 @@ impl Detector for Usad {
         "USAD"
     }
 
-    fn fit(&mut self, train: &TimeSeries) -> FitReport {
+    fn fit(
+        &mut self,
+        train: &TimeSeries,
+        rec: &Recorder,
+    ) -> Result<FitReport, DetectorError> {
         let cfg = self.config;
+        crate::common::check_fit_input(train, &cfg)?;
         let normalizer = Normalizer::fit(train);
         let normalized = normalizer.transform(train);
         let dims = train.dims();
@@ -144,6 +150,8 @@ impl Detector for Usad {
             let n = (epoch + 1) as f64;
             let (w_n, w_adv) = (1.0 / n, 1.0 - 1.0 / n);
             let visited = &order[..order.len().min(cfg.max_windows)];
+            let mut loss_sum = 0.0;
+            let mut batches = 0usize;
             for batch in visited.chunks(cfg.batch) {
                 let w = windows.batch(batch);
                 let flat = flatten_windows(&w);
@@ -151,7 +159,7 @@ impl Detector for Usad {
                 let d2_ids = state.d2_ids.clone();
                 {
                     let mut store = std::mem::take(&mut state.store);
-                    sgd_step(&mut store, &mut opt1, cfg.seed ^ epoch as u64, |ctx| {
+                    loss_sum += sgd_step(&mut store, &mut opt1, cfg.seed ^ epoch as u64, |ctx| {
                         let f = ctx.input(flat.clone());
                         let target = ctx.input(flat.clone());
                         let (ae1, _, ae2_ae1) = Self::forward(&state, ctx, &f);
@@ -183,22 +191,31 @@ impl Detector for Usad {
                     };
                     opt2.step(&mut state.store, &grads);
                 }
+                batches += 1;
             }
-            secs += start.elapsed().as_secs_f64();
+            let seconds = start.elapsed().as_secs_f64();
+            secs += seconds;
+            let loss = loss_sum / batches.max(1) as f64;
+            if !loss.is_finite() {
+                return Err(DetectorError::NonFiniteLoss { epoch });
+            }
+            rec.emit("baseline.epoch", |e| {
+                e.u64("epoch", epoch as u64).f64("loss", loss).f64("seconds", seconds);
+            });
         }
 
         state.train_scores = self.score_batches(&state, train);
         self.state = Some(state);
-        FitReport { seconds_per_epoch: secs / cfg.epochs.max(1) as f64, epochs: cfg.epochs }
+        Ok(FitReport { seconds_per_epoch: secs / cfg.epochs.max(1) as f64, epochs: cfg.epochs })
     }
 
-    fn score(&self, test: &TimeSeries) -> Vec<Vec<f64>> {
-        let state = self.state.as_ref().expect("fit before score");
-        self.score_batches(state, test)
+    fn score(&self, test: &TimeSeries) -> Result<Vec<Vec<f64>>, DetectorError> {
+        let state = self.state.as_ref().ok_or(DetectorError::NotFitted)?;
+        Ok(self.score_batches(state, test))
     }
 
-    fn train_scores(&self) -> &[Vec<f64>] {
-        &self.state.as_ref().expect("fit before train_scores").train_scores
+    fn train_scores(&self) -> Result<&[Vec<f64>], DetectorError> {
+        Ok(&self.state.as_ref().ok_or(DetectorError::NotFitted)?.train_scores)
     }
 }
 
@@ -211,10 +228,10 @@ mod tests {
     fn usad_separates_anomalies() {
         let train = toy_series(400, 2, 1);
         let mut det = Usad::new(NeuralConfig::fast());
-        let report = det.fit(&train);
+        let report = det.fit(&train, &Recorder::disabled()).unwrap();
         assert!(report.seconds_per_epoch > 0.0);
         let (test, range) = anomalous_copy(&train, 5.0);
-        let scores = det.score(&test);
+        let scores = det.score(&test).unwrap();
         let anom: f64 = range.clone().map(|t| scores[t][0]).sum::<f64>() / range.len() as f64;
         let norm: f64 = (30..150).map(|t| scores[t][0]).sum::<f64>() / 120.0;
         assert!(anom > 3.0 * norm, "anom {anom} vs norm {norm}");
@@ -224,16 +241,16 @@ mod tests {
     fn scores_match_series_length() {
         let train = toy_series(200, 3, 2);
         let mut det = Usad::new(NeuralConfig::fast());
-        det.fit(&train);
-        let scores = det.score(&train);
+        det.fit(&train, &Recorder::disabled()).unwrap();
+        let scores = det.score(&train).unwrap();
         assert_eq!(scores.len(), 200);
         assert_eq!(scores[0].len(), 3);
-        assert_eq!(det.train_scores().len(), 200);
+        assert_eq!(det.train_scores().unwrap().len(), 200);
     }
 
     #[test]
-    #[should_panic(expected = "fit before score")]
-    fn score_before_fit_panics() {
-        Usad::new(NeuralConfig::fast()).score(&toy_series(50, 1, 3));
+    fn score_before_fit_errors() {
+        let err = Usad::new(NeuralConfig::fast()).score(&toy_series(50, 1, 3)).unwrap_err();
+        assert_eq!(err, DetectorError::NotFitted);
     }
 }

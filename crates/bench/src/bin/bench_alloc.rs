@@ -6,9 +6,10 @@
 //! steady state a long training job sits in.
 
 use tranad::config::TranadConfig;
-use tranad::train::train;
+use tranad::train::{train, train_with};
 use tranad_bench::alloc_count::{self, CountingAlloc};
 use tranad_data::{SignalRng, TimeSeries};
+use tranad_telemetry::{MemorySink, Recorder};
 
 #[global_allocator]
 static ALLOC: CountingAlloc = CountingAlloc;
@@ -25,11 +26,11 @@ fn toy_series(len: usize, dims: usize, seed: u64) -> TimeSeries {
     TimeSeries::from_columns(&cols)
 }
 
-/// Trains once and returns `(allocations, bytes, steps)` where a step is
-/// one optimizer update (two per batch: phase-1 and decoder-2).
-fn measure(series: &TimeSeries, config: TranadConfig) -> (u64, u64, u64) {
+/// Trains once under `rec` and returns `(allocations, bytes, steps)` where
+/// a step is one optimizer update (two per batch: phase-1 and decoder-2).
+fn measure(series: &TimeSeries, config: TranadConfig, rec: &Recorder) -> (u64, u64, u64) {
     let before = alloc_count::counts();
-    let (_, report) = train(series, config);
+    let (_, report) = train_with(series, config, rec).expect("training");
     let (allocs, bytes) = alloc_count::delta(before);
     let batches = series.len().div_ceil(config.batch_size);
     let steps = (report.epochs_run * batches * 2).max(1) as u64;
@@ -45,17 +46,22 @@ fn main() {
     };
 
     // Warm-up run: first-touch allocations fill the buffer pool.
-    let _ = train(&series, config);
+    let _ = train(&series, config).expect("warm-up training");
 
-    let (allocs, bytes, steps) = measure(&series, config);
+    let (allocs, bytes, steps) = measure(&series, config, &Recorder::disabled());
     let stats = tranad_tensor::bufpool::stats();
 
     // Reference: same build with recycling switched off, so every tensor
     // buffer hits the system allocator (the pre-pool behavior).
     tranad_tensor::bufpool::set_enabled(false);
     tranad_tensor::bufpool::clear();
-    let (allocs_off, bytes_off, steps_off) = measure(&series, config);
+    let (allocs_off, bytes_off, steps_off) = measure(&series, config, &Recorder::disabled());
     tranad_tensor::bufpool::set_enabled(true);
+
+    // Telemetry overhead: the disabled recorder must be invisible to the
+    // allocator, and even a live in-memory sink should stay cheap.
+    let (allocs_live, bytes_live, steps_live) =
+        measure(&series, config, &Recorder::new(MemorySink::new(1 << 16)));
 
     println!("series: len={} dims=4; {} optimizer updates per run", series.len(), steps);
     println!(
@@ -76,5 +82,19 @@ fn main() {
     println!(
         "pool (main thread): {} hits, {} misses, {} recycled, {} dropped",
         stats.hits, stats.misses, stats.recycled, stats.dropped
+    );
+    println!(
+        "telemetry off: {} allocations/step; live memory sink: {} allocations/step, {} bytes/step",
+        allocs / steps,
+        allocs_live / steps_live,
+        bytes_live / steps_live
+    );
+    // Regression gate: disabled telemetry must not add allocator traffic to
+    // the training step (PR2 pinned the instrumented-free hot path at 486
+    // allocations/step on this exact workload).
+    assert!(
+        allocs / steps <= 486,
+        "disabled telemetry leaks allocations into the hot path: {} allocs/step (budget 486)",
+        allocs / steps
     );
 }

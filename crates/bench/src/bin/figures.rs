@@ -57,4 +57,6 @@ fn main() {
         };
         println!("{out}");
     }
+    // Summarize accumulated metrics into the TRANAD_TRACE file, if any.
+    tranad_telemetry::global().flush_metrics();
 }

@@ -117,4 +117,6 @@ fn main() {
             other => panic!("no table {other} in the paper"),
         }
     }
+    // Summarize accumulated metrics into the TRANAD_TRACE file, if any.
+    tranad_telemetry::global().flush_metrics();
 }

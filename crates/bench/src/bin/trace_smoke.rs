@@ -1,0 +1,61 @@
+//! Trace smoke test for CI: runs a tiny train + detect with whatever
+//! recorder `TRANAD_TRACE` configures, then (when the variable is set)
+//! re-reads the trace file and proves every line is well-formed JSONL with
+//! the expected core events.
+//!
+//! Run with: `TRANAD_TRACE=/tmp/trace.jsonl cargo run --release -p
+//! tranad-bench --bin trace-smoke`. Without `TRANAD_TRACE` it still runs
+//! the pipeline (exercising the disabled-recorder path) and prints a note.
+
+use tranad::{train, PotConfig, TranadConfig};
+use tranad_data::{generate, DatasetKind, GenConfig};
+
+fn main() {
+    let rec = tranad_telemetry::global();
+    let gen = GenConfig { scale: 0.001, min_len: 400, seed: 23 };
+    let ds = generate(DatasetKind::Ucr, gen);
+    let config = TranadConfig::builder()
+        .epochs(2)
+        .window(6)
+        .context(12)
+        .ff_hidden(8)
+        .build()
+        .expect("valid config");
+    let (trained, report) = train(&ds.train, config).expect("training");
+    let detection = trained.detect(&ds.test, PotConfig::default()).expect("detection");
+    rec.flush_metrics();
+    rec.flush();
+    println!(
+        "trained {} epochs, {} test points, {} flagged",
+        report.epochs_run,
+        detection.labels.len(),
+        detection.labels.iter().filter(|&&b| b).count()
+    );
+
+    let Ok(path) = std::env::var(tranad_telemetry::TRACE_ENV) else {
+        println!("{} unset; ran with telemetry disabled", tranad_telemetry::TRACE_ENV);
+        return;
+    };
+    assert!(rec.enabled(), "{} is set but the recorder is disabled", tranad_telemetry::TRACE_ENV);
+    let text = std::fs::read_to_string(&path).expect("read trace file");
+    let mut events = 0usize;
+    let mut epochs = 0usize;
+    let mut pot_dims = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        let v = tranad_json::parse(line)
+            .unwrap_or_else(|e| panic!("trace line {} is malformed: {e:?}", lineno + 1));
+        let name = v
+            .get("event")
+            .and_then(|e| e.as_str())
+            .unwrap_or_else(|| panic!("trace line {} lacks an event name", lineno + 1));
+        events += 1;
+        match name {
+            "train.epoch" => epochs += 1,
+            "pot.dim" => pot_dims += 1,
+            _ => {}
+        }
+    }
+    assert_eq!(epochs, 2, "expected one train.epoch event per epoch");
+    assert!(pot_dims >= 1, "expected at least one pot.dim event");
+    println!("trace OK: {events} well-formed events ({epochs} epochs, {pot_dims} POT dims) in {path}");
+}

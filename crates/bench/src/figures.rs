@@ -11,6 +11,7 @@ use tranad_baselines::TranadDetector;
 use tranad_baselines::{aggregate_scores, Detector};
 use tranad_data::{generate, random_subsequence, DatasetKind};
 use tranad_metrics::critical_difference;
+use tranad_telemetry::Recorder;
 
 /// Figure 2: anomaly-prediction visualization on an MBA-like trace —
 /// series value, anomaly score, threshold and predicted/true labels per
@@ -18,9 +19,9 @@ use tranad_metrics::critical_difference;
 pub fn figure2(cfg: &HarnessConfig) -> String {
     let ds = generate(DatasetKind::Mba, cfg.gen);
     let mut det = TranadDetector::new(cfg.tranad);
-    det.fit(&ds.train);
+    det.fit(&ds.train, &Recorder::disabled()).expect("figure 2 training");
     let trained = det.trained().expect("just fitted");
-    let detection = trained.detect(&ds.test, pot_config(&ds));
+    let detection = trained.detect(&ds.test, pot_config(&ds)).expect("figure 2 detection");
     let truth = ds.point_labels();
     let rows: Vec<String> = (0..ds.test.len())
         .map(|t| {
@@ -55,7 +56,7 @@ pub fn figure2(cfg: &HarnessConfig) -> String {
 pub fn figure3(cfg: &HarnessConfig) -> String {
     let ds = generate(DatasetKind::Smd, cfg.gen);
     let mut det = TranadDetector::new(cfg.tranad);
-    det.fit(&ds.train);
+    det.fit(&ds.train, &Recorder::disabled()).expect("figure 3 training");
     let trained = det.trained().expect("just fitted");
     let intro = trained
         .introspect(&ds.test)
@@ -137,9 +138,9 @@ pub fn figure4(cfg: &HarnessConfig) -> String {
 pub fn figure5(cfg: &HarnessConfig) -> String {
     let ds = generate(DatasetKind::Msds, cfg.gen);
     let mut det = TranadDetector::new(cfg.tranad);
-    det.fit(&ds.train);
+    det.fit(&ds.train, &Recorder::disabled()).expect("figure 5 training");
     let trained = det.trained().expect("just fitted");
-    let detection = trained.detect(&ds.test, pot_config(&ds));
+    let detection = trained.detect(&ds.test, pot_config(&ds)).expect("figure 5 detection");
     let dims = ds.dims();
     let mut header = String::from("t");
     for d in 0..dims {
@@ -192,8 +193,12 @@ pub fn figure6(cfg: &HarnessConfig, dataset_filter: &[DatasetKind]) -> String {
             for &frac in &fractions {
                 let subset = random_subsequence(&ds.train, frac, 11);
                 let mut det = method.build(cfg);
-                let fit = det.fit(&subset);
-                let r = crate::runner::evaluate_fitted(det.as_ref(), &ds, fit.seconds_per_epoch);
+                let r = det
+                    .fit(&subset, &Recorder::disabled())
+                    .and_then(|fit| {
+                        crate::runner::evaluate_fitted(det.as_ref(), &ds, fit.seconds_per_epoch)
+                    })
+                    .unwrap_or_else(|e| RunResult::failed(method.name(), kind.name(), &e));
                 rows.push(format!(
                     "{},{},{:.2},{},{},{:.4}",
                     kind.name(),
@@ -229,7 +234,8 @@ pub fn figure7(cfg: &HarnessConfig, dataset_filter: &[DatasetKind]) -> String {
                 tcfg.window = w;
                 tcfg.context = tcfg.context.max(w);
                 let mut det = TranadDetector::ablation(ablation, tcfg);
-                let r = evaluate_method(&mut det, &ds);
+                let r = evaluate_method(&mut det, &ds)
+                    .unwrap_or_else(|e| RunResult::failed(ablation.name(), kind.name(), &e));
                 rows.push(format!(
                     "{},{},{},{},{},{:.4}",
                     kind.name(),
@@ -248,10 +254,13 @@ pub fn figure7(cfg: &HarnessConfig, dataset_filter: &[DatasetKind]) -> String {
 }
 
 /// Helper reused by tests: score-then-threshold a fitted detector.
-pub fn labels_of(det: &dyn Detector, ds: &tranad_data::Dataset) -> Vec<bool> {
-    let scores = det.score(&ds.test);
-    let _agg = aggregate_scores(&scores);
-    tranad::detect_aggregate(det.train_scores(), &scores, pot_config(ds))
+pub fn labels_of(
+    det: &dyn Detector,
+    ds: &tranad_data::Dataset,
+) -> Result<Vec<bool>, tranad::DetectorError> {
+    let scores = det.score(&ds.test)?;
+    let _agg = aggregate_scores(&scores)?;
+    tranad::detect_aggregate(det.train_scores()?, &scores, pot_config(ds))
 }
 
 #[cfg(test)]
@@ -288,6 +297,7 @@ mod tests {
                     auc: if *m == "TranAD" { 0.95 } else { 0.85 },
                     f1: if *m == "TranAD" { 0.9 } else { 0.8 },
                     secs_per_epoch: 1.0,
+                    error: String::new(),
                 })
             })
             .collect();

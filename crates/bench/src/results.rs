@@ -141,6 +141,7 @@ mod tests {
             auc: 0.5,
             f1,
             secs_per_epoch: 1.0,
+            error: String::new(),
         }
     }
 

@@ -1,12 +1,12 @@
 //! Shared experiment runner: fits a detector on a dataset, applies the
 //! paper's POT decision procedure, and computes the Table 2/3 metrics.
 
-use tranad::detect_aggregate;
+use tranad::{detect_aggregate_with, DetectorError, TranadConfig};
 use tranad_baselines::{aggregate_scores, Detector, NeuralConfig};
 use tranad_data::{limited_data_subsets, Dataset, DatasetKind, GenConfig, TimeSeries};
 use tranad_evt::PotConfig;
 use tranad_metrics::{evaluate, point_adjust, Confusion};
-use tranad::TranadConfig;
+use tranad_telemetry::Recorder;
 
 /// One (method, dataset) evaluation outcome.
 #[derive(Debug, Clone)]
@@ -25,6 +25,31 @@ pub struct RunResult {
     pub f1: f64,
     /// Mean training seconds per epoch.
     pub secs_per_epoch: f64,
+    /// Why the cell failed (empty for a successful run). Failed cells
+    /// carry NaN metrics so downstream tables render them as "-".
+    pub error: String,
+}
+
+impl RunResult {
+    /// A failed grid cell: NaN metrics plus the error message, so one bad
+    /// (method, dataset) combination no longer aborts the whole grid.
+    pub fn failed(method: &str, dataset: &str, err: &DetectorError) -> RunResult {
+        RunResult {
+            method: method.to_string(),
+            dataset: dataset.to_string(),
+            precision: f64::NAN,
+            recall: f64::NAN,
+            auc: f64::NAN,
+            f1: f64::NAN,
+            secs_per_epoch: f64::NAN,
+            error: err.to_string(),
+        }
+    }
+
+    /// True when the cell ran to completion.
+    pub fn is_ok(&self) -> bool {
+        self.error.is_empty()
+    }
 }
 
 tranad_json::impl_json_struct!(RunResult {
@@ -35,6 +60,7 @@ tranad_json::impl_json_struct!(RunResult {
     auc,
     f1,
     secs_per_epoch,
+    error,
 });
 
 /// The harness-wide experiment configuration.
@@ -79,14 +105,67 @@ impl HarnessConfig {
         c.tranad.epochs = 2;
         c
     }
+
+    /// Starts a validating builder from the defaults.
+    pub fn builder() -> HarnessConfigBuilder {
+        HarnessConfigBuilder { config: HarnessConfig::default() }
+    }
+
+    /// Checks the nested method configurations.
+    pub fn validate(&self) -> Result<(), DetectorError> {
+        self.neural.validate()?;
+        self.tranad.validate()
+    }
+}
+
+/// Validating builder for [`HarnessConfig`]; `build` rejects out-of-range
+/// nested configurations with [`DetectorError::InvalidConfig`].
+#[derive(Debug, Clone)]
+pub struct HarnessConfigBuilder {
+    config: HarnessConfig,
+}
+
+impl HarnessConfigBuilder {
+    /// Dataset generation (scale, seed).
+    pub fn gen(mut self, gen: GenConfig) -> Self {
+        self.config.gen = gen;
+        self
+    }
+
+    /// Neural baseline hyperparameters.
+    pub fn neural(mut self, neural: NeuralConfig) -> Self {
+        self.config.neural = neural;
+        self
+    }
+
+    /// TranAD hyperparameters.
+    pub fn tranad(mut self, tranad: TranadConfig) -> Self {
+        self.config.tranad = tranad;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<HarnessConfig, DetectorError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
 }
 
 /// Fits `det` on the dataset's training series, scores the test series,
 /// thresholds with the paper's POT settings (falling back to a method's
 /// native labeling if it has one), point-adjusts, and summarizes.
-pub fn evaluate_method(det: &mut dyn Detector, ds: &Dataset) -> RunResult {
-    let fit = det.fit(&ds.train);
-    evaluate_fitted(det, ds, fit.seconds_per_epoch)
+pub fn evaluate_method(det: &mut dyn Detector, ds: &Dataset) -> Result<RunResult, DetectorError> {
+    evaluate_method_with(det, ds, &Recorder::disabled())
+}
+
+/// [`evaluate_method`] tracing `fit` progress to `rec`.
+pub fn evaluate_method_with(
+    det: &mut dyn Detector,
+    ds: &Dataset,
+    rec: &Recorder,
+) -> Result<RunResult, DetectorError> {
+    let fit = det.fit(&ds.train, rec)?;
+    evaluate_fitted_with(det, ds, fit.seconds_per_epoch, rec)
 }
 
 /// Evaluates an already-fitted detector.
@@ -96,21 +175,36 @@ pub fn evaluate_method(det: &mut dyn Detector, ds: &Dataset) -> RunResult {
 /// single-step reconstruction misses in the calibration data otherwise
 /// dominate the tail fit, while genuine anomaly segments (tens of points)
 /// survive smoothing untouched.
-pub fn evaluate_fitted(det: &dyn Detector, ds: &Dataset, secs_per_epoch: f64) -> RunResult {
+pub fn evaluate_fitted(
+    det: &dyn Detector,
+    ds: &Dataset,
+    secs_per_epoch: f64,
+) -> Result<RunResult, DetectorError> {
+    evaluate_fitted_with(det, ds, secs_per_epoch, &Recorder::disabled())
+}
+
+/// [`evaluate_fitted`] tracing the POT decision procedure to `rec`.
+pub fn evaluate_fitted_with(
+    det: &dyn Detector,
+    ds: &Dataset,
+    secs_per_epoch: f64,
+    rec: &Recorder,
+) -> Result<RunResult, DetectorError> {
     let truth = ds.point_labels();
     let width = smoothing_width(ds.kind);
-    let test_scores = smooth(det.score(&ds.test), width);
-    let aggregate = aggregate_scores(&test_scores);
+    let test_scores = smooth(det.score(&ds.test)?, width);
+    let aggregate = aggregate_scores(&test_scores)?;
     let labels = match det.native_labels(&ds.test) {
         Some(native) => native,
-        None => detect_aggregate(
-            &smooth(det.train_scores().to_vec(), width),
+        None => detect_aggregate_with(
+            &smooth(det.train_scores()?.to_vec(), width),
             &test_scores,
             pot_config(ds),
-        ),
+            rec,
+        )?,
     };
     let m = evaluate(&aggregate, &labels, &truth);
-    RunResult {
+    Ok(RunResult {
         method: det.name().to_string(),
         dataset: ds.kind.name().to_string(),
         precision: m.precision,
@@ -118,7 +212,8 @@ pub fn evaluate_fitted(det: &dyn Detector, ds: &Dataset, secs_per_epoch: f64) ->
         auc: m.auc,
         f1: m.f1,
         secs_per_epoch,
-    }
+        error: String::new(),
+    })
 }
 
 /// Score-smoothing width per dataset: datasets whose anomalies are single
@@ -181,13 +276,13 @@ pub fn evaluate_limited(
     make_detector: &mut dyn FnMut() -> Box<dyn Detector>,
     ds: &Dataset,
     fraction: f64,
-) -> RunResult {
+) -> Result<RunResult, DetectorError> {
     let subsets = limited_data_subsets(&ds.train, fraction, ds.kind as u64 + 1);
     let mut acc: Option<RunResult> = None;
     let n = subsets.len() as f64;
     for subset in &subsets {
         let mut det = make_detector();
-        let r = run_on_subset(det.as_mut(), ds, subset);
+        let r = run_on_subset(det.as_mut(), ds, subset)?;
         acc = Some(match acc {
             None => r,
             Some(mut a) => {
@@ -200,18 +295,22 @@ pub fn evaluate_limited(
             }
         });
     }
-    let mut out = acc.expect("at least one subset");
+    let mut out = acc.ok_or(DetectorError::EmptySeries)?;
     out.precision /= n;
     out.recall /= n;
     out.auc /= n;
     out.f1 /= n;
     out.secs_per_epoch /= n;
-    out
+    Ok(out)
 }
 
 /// Fits on an arbitrary training subset, evaluates on the full test set.
-pub fn run_on_subset(det: &mut dyn Detector, ds: &Dataset, train: &TimeSeries) -> RunResult {
-    let fit = det.fit(train);
+pub fn run_on_subset(
+    det: &mut dyn Detector,
+    ds: &Dataset,
+    train: &TimeSeries,
+) -> Result<RunResult, DetectorError> {
+    let fit = det.fit(train, &Recorder::disabled())?;
     evaluate_fitted(det, ds, fit.seconds_per_epoch)
 }
 
@@ -231,12 +330,28 @@ mod tests {
     fn merlin_on_tiny_nab() {
         let ds = generate(DatasetKind::Nab, GenConfig { scale: 0.001, min_len: 300, seed: 1 });
         let mut det = Merlin::new(MerlinConfig::optimized(8, 16));
-        let r = evaluate_method(&mut det, &ds);
+        let r = evaluate_method(&mut det, &ds).unwrap();
         assert_eq!(r.method, "MERLIN");
         assert_eq!(r.dataset, "NAB");
         assert!(r.auc >= 0.0 && r.auc <= 1.0);
         assert!(r.f1 >= 0.0 && r.f1 <= 1.0);
         assert!(r.secs_per_epoch > 0.0);
+    }
+
+    #[test]
+    fn failed_cell_records_error_and_round_trips_as_json() {
+        use tranad_json::{FromJson, ToJson};
+        // A series shorter than the window makes any neural fit fail.
+        let tiny = TimeSeries::from_columns(&[vec![0.0; 3]]);
+        let mut det = tranad_baselines::usad::Usad::new(NeuralConfig::fast());
+        let err = det.fit(&tiny, &Recorder::disabled()).unwrap_err();
+        let r = RunResult::failed("USAD", "SMD", &err);
+        assert!(!r.is_ok());
+        assert!(r.f1.is_nan() && r.auc.is_nan());
+        let back =
+            RunResult::from_json(&tranad_json::parse(&r.to_json().to_string()).unwrap()).unwrap();
+        assert_eq!(back.error, err.to_string());
+        assert!(back.f1.is_nan(), "NaN must survive the results JSON");
     }
 
     #[test]

@@ -9,10 +9,11 @@ use crate::results::{fmt4, render_table, save, score_matrix};
 use crate::runner::{
     evaluate_fitted, evaluate_method, pot_config, HarnessConfig, RunResult,
 };
-use tranad::detect_aggregate;
+use tranad::{detect_aggregate, DetectorError};
 use tranad_baselines::{Detector, Merlin, MerlinConfig};
 use tranad_data::{generate, limited_data_subsets, Dataset, DatasetKind};
 use tranad_metrics::{diagnose, evaluate};
+use tranad_telemetry::Recorder;
 use tranad_tensor::pool;
 
 /// Datasets used in a run (defaults to all nine).
@@ -71,14 +72,35 @@ pub fn run_grid(
     pool::parallel_chunks_mut(&mut slots, 1, |i, slot| {
         let (d, method) = cells[i];
         let mut det = method.build(cfg);
-        slot[0] = Some(evaluate_method(det.as_mut(), &dss[d]));
+        slot[0] = Some(match evaluate_method(det.as_mut(), &dss[d]) {
+            Ok(r) => r,
+            Err(e) => RunResult::failed(method.name(), dss[d].kind.name(), &e),
+        });
     });
-    let results: Vec<RunResult> =
-        slots.into_iter().map(|r| r.expect("every grid cell ran")).collect();
+    let results: Vec<RunResult> = slots.into_iter().flatten().collect();
+    record_cells(&results);
     for r in &results {
         progress(r);
     }
     results
+}
+
+/// Emits one `bench.cell` event per grid result on the process-global
+/// recorder — serially, after the parallel region, so trace order is
+/// deterministic.
+fn record_cells(results: &[RunResult]) {
+    let rec = tranad_telemetry::global();
+    for r in results {
+        rec.emit("bench.cell", |e| {
+            e.str("method", r.method.clone())
+                .str("dataset", r.dataset.clone())
+                .bool("ok", r.is_ok())
+                .f64("f1", r.f1)
+                .f64("auc", r.auc)
+                .f64("secs_per_epoch", r.secs_per_epoch)
+                .str("error", r.error.clone());
+        });
+    }
 }
 
 /// Table 2: detection performance with the full training data.
@@ -158,27 +180,36 @@ pub fn run_grid_limited(
             auc: 0.0,
             f1: 0.0,
             secs_per_epoch: 0.0,
+            error: String::new(),
         };
-        for subset in subs.iter().take(take) {
-            let mut det = method.build(cfg);
-            let fit = det.fit(subset);
-            let r = evaluate_fitted(det.as_ref(), ds, fit.seconds_per_epoch);
-            acc.precision += r.precision;
-            acc.recall += r.recall;
-            acc.auc += r.auc;
-            acc.f1 += r.f1;
-            acc.secs_per_epoch += r.secs_per_epoch;
-        }
-        let n = take as f64;
-        acc.precision /= n;
-        acc.recall /= n;
-        acc.auc /= n;
-        acc.f1 /= n;
-        acc.secs_per_epoch /= n;
-        slot[0] = Some(acc);
+        let cell = |acc: &mut RunResult| -> Result<(), DetectorError> {
+            for subset in subs.iter().take(take) {
+                let mut det = method.build(cfg);
+                let fit = det.fit(subset, &Recorder::disabled())?;
+                let r = evaluate_fitted(det.as_ref(), ds, fit.seconds_per_epoch)?;
+                acc.precision += r.precision;
+                acc.recall += r.recall;
+                acc.auc += r.auc;
+                acc.f1 += r.f1;
+                acc.secs_per_epoch += r.secs_per_epoch;
+            }
+            Ok(())
+        };
+        slot[0] = Some(match cell(&mut acc) {
+            Ok(()) => {
+                let n = take as f64;
+                acc.precision /= n;
+                acc.recall /= n;
+                acc.auc /= n;
+                acc.f1 /= n;
+                acc.secs_per_epoch /= n;
+                acc
+            }
+            Err(e) => RunResult::failed(method.name(), ds.kind.name(), &e),
+        });
     });
-    let results: Vec<RunResult> =
-        slots.into_iter().map(|r| r.expect("every grid cell ran")).collect();
+    let results: Vec<RunResult> = slots.into_iter().flatten().collect();
+    record_cells(&results);
     for r in &results {
         progress(r);
     }
@@ -239,16 +270,31 @@ pub fn table4(
             (0..ds.labels.len()).map(|t| ds.labels.dim_labels(t)).collect();
         for &method in &methods {
             let mut det = method.build(cfg);
-            det.fit(&ds.train);
-            let scores = det.score(&ds.test);
-            let d = diagnose(&scores, &truth_dims);
-            let row = DiagnosisRow {
-                method: method.name().to_string(),
-                dataset: kind.name().to_string(),
-                hit100: d.hit100,
-                hit150: d.hit150,
-                ndcg100: d.ndcg100,
-                ndcg150: d.ndcg150,
+            let scores = det
+                .fit(&ds.train, &Recorder::disabled())
+                .and_then(|_| det.score(&ds.test));
+            let row = match scores {
+                Ok(scores) => {
+                    let d = diagnose(&scores, &truth_dims);
+                    DiagnosisRow {
+                        method: method.name().to_string(),
+                        dataset: kind.name().to_string(),
+                        hit100: d.hit100,
+                        hit150: d.hit150,
+                        ndcg100: d.ndcg100,
+                        ndcg150: d.ndcg150,
+                    }
+                }
+                // A failed fit becomes a NaN row ("-" in the rendering)
+                // rather than aborting the remaining grid.
+                Err(_) => DiagnosisRow {
+                    method: method.name().to_string(),
+                    dataset: kind.name().to_string(),
+                    hit100: f64::NAN,
+                    hit150: f64::NAN,
+                    ndcg100: f64::NAN,
+                    ndcg150: f64::NAN,
+                },
             };
             progress(&row);
             rows.push(row);
@@ -383,17 +429,31 @@ pub fn table7(
         let cap = (ds.test.len() / 4).max(8);
         let (min_l, max_l) = (min_l.min(cap).max(4), max_l.min(cap * 2).max(8));
         let truth = ds.point_labels();
-        let run = |config: MerlinConfig| -> (f64, f64, f64, f64, f64) {
+        let run = |config: MerlinConfig| -> Result<(f64, f64, f64, f64, f64), DetectorError> {
             let mut det = Merlin::new(config);
-            let fit = det.fit(&ds.train);
-            let scores = det.score(&ds.test);
-            let aggregate = tranad_baselines::aggregate_scores(&scores);
-            let labels = detect_aggregate(det.train_scores(), &scores, pot_config(&ds));
+            let fit = det.fit(&ds.train, &Recorder::disabled())?;
+            let scores = det.score(&ds.test)?;
+            let aggregate = tranad_baselines::aggregate_scores(&scores)?;
+            let labels = detect_aggregate(det.train_scores()?, &scores, pot_config(&ds))?;
             let m = evaluate(&aggregate, &labels, &truth);
-            (m.precision, m.recall, m.auc, m.f1, fit.seconds_per_epoch)
+            Ok((m.precision, m.recall, m.auc, m.f1, fit.seconds_per_epoch))
         };
-        let orig = run(MerlinConfig::reference(min_l, max_l));
-        let ours = run(MerlinConfig::optimized(min_l, max_l));
+        let (orig, ours) = match (
+            run(MerlinConfig::reference(min_l, max_l)),
+            run(MerlinConfig::optimized(min_l, max_l)),
+        ) {
+            (Ok(o), Ok(u)) => (o, u),
+            // Record the failure and move to the next dataset.
+            (o, u) => {
+                let err = o.err().or(u.err()).unwrap_or(DetectorError::NotFitted);
+                tranad_telemetry::global().emit("bench.error", |e| {
+                    e.str("table", "table7")
+                        .str("dataset", ds.kind.name())
+                        .str("error", err.to_string());
+                });
+                continue;
+            }
+        };
         for (metric, o, u) in [
             ("P", orig.0, ours.0),
             ("R", orig.1, ours.1),

@@ -1,0 +1,27 @@
+//! Typed errors for POT/SPOT calibration, replacing the panicking
+//! assertions on the detection hot path.
+
+use std::fmt;
+
+/// Why a POT/SPOT fit could not be produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PotError {
+    /// No calibration scores were supplied.
+    EmptyCalibration,
+    /// Calibration scores contain NaN, so no quantile is defined.
+    NonFiniteScores,
+    /// The configuration is out of range (q or level outside (0,1), ...).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for PotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PotError::EmptyCalibration => write!(f, "POT needs calibration scores"),
+            PotError::NonFiniteScores => write!(f, "calibration scores contain NaN"),
+            PotError::InvalidConfig(msg) => write!(f, "invalid POT config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PotError {}

@@ -17,11 +17,30 @@ pub struct GpdFit {
     pub log_likelihood: f64,
 }
 
+/// How a GPD fit was obtained — the "fit iterations" telemetry: how many
+/// candidate parameter pairs were scored and how many Grimshaw roots the
+/// search found, plus whether the sample was degenerate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GpdFitInfo {
+    /// Candidate `(gamma, sigma)` pairs evaluated by likelihood.
+    pub candidates: usize,
+    /// Roots found by the Grimshaw one-dimensional search.
+    pub roots: usize,
+    /// `true` when the sample was (almost) constant and the fit collapsed
+    /// to the degenerate exponential.
+    pub degenerate: bool,
+}
+
 /// Fits a GPD to non-negative exceedances by maximum likelihood
 /// (Grimshaw's trick), falling back to method of moments.
 ///
 /// Panics if `peaks` is empty or contains negative values.
 pub fn fit_gpd(peaks: &[f64]) -> GpdFit {
+    fit_gpd_detailed(peaks).0
+}
+
+/// [`fit_gpd`] plus a [`GpdFitInfo`] describing the search.
+pub fn fit_gpd_detailed(peaks: &[f64]) -> (GpdFit, GpdFitInfo) {
     assert!(!peaks.is_empty(), "cannot fit GPD to zero peaks");
     assert!(
         peaks.iter().all(|&p| p >= 0.0),
@@ -34,11 +53,14 @@ pub fn fit_gpd(peaks: &[f64]) -> GpdFit {
 
     // Degenerate sample: all peaks (almost) identical.
     if max - min < 1e-12 || mean < 1e-300 {
-        return GpdFit {
-            gamma: 0.0,
-            sigma: mean.max(1e-12),
-            log_likelihood: f64::NEG_INFINITY,
-        };
+        return (
+            GpdFit {
+                gamma: 0.0,
+                sigma: mean.max(1e-12),
+                log_likelihood: f64::NEG_INFINITY,
+            },
+            GpdFitInfo { candidates: 0, roots: 0, degenerate: true },
+        );
     }
 
     let mut candidates: Vec<(f64, f64)> = Vec::new(); // (gamma, sigma)
@@ -50,11 +72,13 @@ pub fn fit_gpd(peaks: &[f64]) -> GpdFit {
     let v = |x: f64| peaks.iter().map(|&y| 1.0 / (1.0 + x * y)).sum::<f64>() / n;
     let w = |x: f64| u(x) * v(x) - 1.0;
 
+    let mut roots_found = 0usize;
     let eps = 1e-8 / max;
     let lo_bound = -1.0 / max + eps;
     let hi_bound = 2.0 * (mean - min) / (min * min).max(1e-12);
     for (a, b) in [(lo_bound, -eps), (eps, hi_bound.max(eps * 2.0))] {
         for x in find_roots(w, a, b, 64) {
+            roots_found += 1;
             let gamma = u(x) - 1.0;
             if x.abs() > 1e-300 {
                 let sigma = gamma / x;
@@ -77,6 +101,7 @@ pub fn fit_gpd(peaks: &[f64]) -> GpdFit {
     // Exponential fit (gamma -> 0) is always a valid candidate.
     candidates.push((0.0, mean));
 
+    let info = GpdFitInfo { candidates: candidates.len(), roots: roots_found, degenerate: false };
     let mut best = GpdFit { gamma: 0.0, sigma: mean, log_likelihood: f64::NEG_INFINITY };
     for (gamma, sigma) in candidates {
         let ll = gpd_log_likelihood(peaks, gamma, sigma);
@@ -84,7 +109,7 @@ pub fn fit_gpd(peaks: &[f64]) -> GpdFit {
             best = GpdFit { gamma, sigma, log_likelihood: ll };
         }
     }
-    best
+    (best, info)
 }
 
 /// Log-likelihood of exceedances under GPD(γ, σ).

@@ -16,13 +16,15 @@
 
 pub mod am;
 pub mod dspot;
+pub mod error;
 pub mod gpd;
 pub mod ndt;
 pub mod pot;
 pub mod spot;
 
 pub use am::{AmConfig, AnnualMaximum};
-pub use gpd::{fit_gpd, GpdFit};
+pub use error::PotError;
+pub use gpd::{fit_gpd, fit_gpd_detailed, GpdFit, GpdFitInfo};
 pub use ndt::{Ndt, NdtConfig};
 pub use pot::{pot_labels, quantile, Pot, PotConfig};
 pub use dspot::Dspot;

@@ -2,7 +2,9 @@
 //! as used by OmniAnomaly, USAD and TranAD to turn anomaly scores into
 //! binary labels without ground-truth calibration.
 
-use crate::gpd::{fit_gpd, pot_quantile};
+use crate::error::PotError;
+use crate::gpd::{fit_gpd_detailed, pot_quantile};
+use tranad_telemetry::Recorder;
 
 /// POT configuration.
 ///
@@ -31,6 +33,20 @@ impl PotConfig {
     pub fn with_low_quantile(level: f64) -> Self {
         PotConfig { q: 1e-4, level }
     }
+
+    /// Validates that both the risk and the low quantile are in (0, 1).
+    pub fn check(&self) -> Result<(), PotError> {
+        if !(self.q > 0.0 && self.q < 1.0) {
+            return Err(PotError::InvalidConfig(format!("risk q must be in (0,1), got {}", self.q)));
+        }
+        if !(self.level > 0.0 && self.level < 1.0) {
+            return Err(PotError::InvalidConfig(format!(
+                "level must be in (0,1), got {}",
+                self.level
+            )));
+        }
+        Ok(())
+    }
 }
 
 /// A fitted POT thresholder.
@@ -50,13 +66,33 @@ impl Pot {
     ///
     /// Returns a conservative max-based threshold if there are too few
     /// peaks to fit a tail distribution.
+    ///
+    /// Panics on invalid input; prefer [`Pot::try_fit`] on paths that must
+    /// not abort.
     pub fn fit(scores: &[f64], config: PotConfig) -> Pot {
-        assert!(!scores.is_empty(), "POT needs calibration scores");
-        assert!(config.q > 0.0 && config.q < 1.0, "risk q must be in (0,1)");
-        assert!(
-            config.level > 0.0 && config.level < 1.0,
-            "level must be in (0,1)"
-        );
+        match Self::try_fit(scores, config) {
+            Ok(pot) => pot,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`Pot::fit`]: empty calibration, NaN scores and
+    /// out-of-range configs become [`PotError`]s instead of panics.
+    pub fn try_fit(scores: &[f64], config: PotConfig) -> Result<Pot, PotError> {
+        Self::fit_with(scores, config, &Recorder::disabled())
+    }
+
+    /// [`Pot::try_fit`] with telemetry: emits one `pot.fit` event (initial
+    /// and final thresholds, peak count, GPD fit details or the fallback
+    /// flag) and counts tail-fit fallbacks on `pot.tail_fit_fallbacks`.
+    pub fn fit_with(scores: &[f64], config: PotConfig, rec: &Recorder) -> Result<Pot, PotError> {
+        config.check()?;
+        if scores.is_empty() {
+            return Err(PotError::EmptyCalibration);
+        }
+        if scores.iter().any(|s| s.is_nan()) {
+            return Err(PotError::NonFiniteScores);
+        }
         let t = quantile(scores, 1.0 - config.level);
         let peaks: Vec<f64> = scores
             .iter()
@@ -68,21 +104,43 @@ impl Pot {
             // a small safety margin.
             let max = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
             let spread = (max - t).abs().max(max.abs() * 0.01).max(1e-12);
-            return Pot {
+            let pot = Pot {
                 initial_threshold: t,
                 threshold: max + 0.01 * spread,
                 n_peaks: peaks.len(),
             };
+            rec.add("pot.tail_fit_fallbacks", 1);
+            rec.emit("pot.fit", |e| {
+                e.u64("n_obs", scores.len() as u64)
+                    .u64("n_peaks", pot.n_peaks as u64)
+                    .f64("initial_threshold", pot.initial_threshold)
+                    .f64("threshold", pot.threshold)
+                    .bool("fallback", true);
+            });
+            return Ok(pot);
         }
-        let fit = fit_gpd(&peaks);
+        let (fit, info) = fit_gpd_detailed(&peaks);
         let z = pot_quantile(&fit, t, config.q, scores.len(), peaks.len());
         // The final threshold can never be below the initial threshold for
         // q below the exceedance rate; clamp for numeric safety.
-        Pot {
+        let pot = Pot {
             initial_threshold: t,
             threshold: z.max(t),
             n_peaks: peaks.len(),
-        }
+        };
+        rec.add("pot.fits", 1);
+        rec.emit("pot.fit", |e| {
+            e.u64("n_obs", scores.len() as u64)
+                .u64("n_peaks", pot.n_peaks as u64)
+                .f64("initial_threshold", pot.initial_threshold)
+                .f64("threshold", pot.threshold)
+                .bool("fallback", false)
+                .f64("gamma", fit.gamma)
+                .f64("sigma", fit.sigma)
+                .u64("gpd_candidates", info.candidates as u64)
+                .u64("gpd_roots", info.roots as u64);
+        });
+        Ok(pot)
     }
 
     /// Labels each score: `true` where `score >= threshold`.

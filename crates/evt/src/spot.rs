@@ -5,6 +5,7 @@
 //! (scores above the current threshold) trigger alarms without polluting
 //! the tail model.
 
+use crate::error::PotError;
 use crate::gpd::{fit_gpd, pot_quantile};
 use crate::pot::{quantile, PotConfig};
 
@@ -21,13 +22,32 @@ pub struct Spot {
     /// Refit the GPD after this many new peaks (1 = every peak).
     refit_every: usize,
     peaks_since_fit: usize,
+    /// Streaming re-calibrations since init (telemetry).
+    refits: u64,
 }
 
 impl Spot {
     /// Initializes on calibration scores (typically the model's scores on
     /// the training series).
+    /// Panics on invalid input; prefer [`Spot::try_init`] on paths that
+    /// must not abort.
     pub fn init(calibration: &[f64], config: PotConfig) -> Spot {
-        assert!(!calibration.is_empty(), "SPOT needs calibration scores");
+        match Self::try_init(calibration, config) {
+            Ok(spot) => spot,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`Spot::init`]: empty or NaN calibration and out-of-range
+    /// configs become [`PotError`]s instead of panics.
+    pub fn try_init(calibration: &[f64], config: PotConfig) -> Result<Spot, PotError> {
+        config.check()?;
+        if calibration.is_empty() {
+            return Err(PotError::EmptyCalibration);
+        }
+        if calibration.iter().any(|s| s.is_nan()) {
+            return Err(PotError::NonFiniteScores);
+        }
         let t = quantile(calibration, 1.0 - config.level);
         let peaks: Vec<f64> = calibration
             .iter()
@@ -42,13 +62,17 @@ impl Spot {
             n_obs: calibration.len(),
             refit_every: 1,
             peaks_since_fit: 0,
+            refits: 0,
         };
         spot.refit();
-        spot
+        // The init fit is not a streaming re-calibration.
+        spot.refits = 0;
+        Ok(spot)
     }
 
     fn refit(&mut self) {
         self.peaks_since_fit = 0;
+        self.refits += 1;
         if self.peaks.len() < 4 {
             // Too little tail mass: conservative max-based threshold.
             let max_peak = self.peaks.iter().cloned().fold(0.0, f64::max);
@@ -95,6 +119,11 @@ impl Spot {
     /// Number of peaks currently in the tail model.
     pub fn n_peaks(&self) -> usize {
         self.peaks.len()
+    }
+
+    /// Streaming re-calibrations (tail refits) performed since init.
+    pub fn refits(&self) -> u64 {
+        self.refits
     }
 }
 

@@ -3,6 +3,7 @@
 
 use crate::param::{ParamId, ParamStore};
 use std::collections::HashMap;
+use tranad_telemetry::Recorder;
 use tranad_tensor::Tensor;
 
 /// AdamW: Adam with decoupled weight decay (Loshchilov & Hutter).
@@ -16,6 +17,7 @@ pub struct AdamW {
     t: u64,
     m: HashMap<usize, Tensor>,
     v: HashMap<usize, Tensor>,
+    rec: Recorder,
 }
 
 impl AdamW {
@@ -30,12 +32,22 @@ impl AdamW {
             t: 0,
             m: HashMap::new(),
             v: HashMap::new(),
+            rec: Recorder::disabled(),
         }
     }
 
     /// Sets the decoupled weight-decay coefficient.
     pub fn with_weight_decay(mut self, wd: f64) -> Self {
         self.weight_decay = wd;
+        self
+    }
+
+    /// Attaches a telemetry recorder: each step observes the gradient L2
+    /// norm (`optim.grad_norm` histogram) and tracks the learning-rate
+    /// schedule (`optim.lr` gauge). The norm is only computed when the
+    /// recorder is enabled, so a disabled recorder costs one branch.
+    pub fn with_recorder(mut self, rec: Recorder) -> Self {
+        self.rec = rec;
         self
     }
 
@@ -46,6 +58,11 @@ impl AdamW {
     /// result is bitwise identical to the old clone-and-set path.
     pub fn step(&mut self, store: &mut ParamStore, grads: &[(ParamId, Tensor)]) {
         self.t += 1;
+        if self.rec.enabled() {
+            self.rec.observe("optim.grad_norm", grad_norm(grads));
+            self.rec.gauge("optim.lr", self.lr);
+            self.rec.add("optim.steps", 1);
+        }
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
         for (id, g) in grads {
@@ -118,14 +135,19 @@ impl StepLr {
     }
 }
 
+/// Global L2 norm of a gradient list.
+pub fn grad_norm(grads: &[(ParamId, Tensor)]) -> f64 {
+    grads
+        .iter()
+        .map(|(_, g)| g.data().iter().map(|v| v * v).sum::<f64>())
+        .sum::<f64>()
+        .sqrt()
+}
+
 /// Clips gradients in place so their global L2 norm is at most `max_norm`.
 /// Returns the pre-clip norm.
 pub fn clip_grad_norm(grads: &mut [(ParamId, Tensor)], max_norm: f64) -> f64 {
-    let norm_sq: f64 = grads
-        .iter()
-        .map(|(_, g)| g.data().iter().map(|v| v * v).sum::<f64>())
-        .sum();
-    let norm = norm_sq.sqrt();
+    let norm = grad_norm(grads);
     if norm > max_norm && norm > 0.0 {
         let scale = max_norm / norm;
         for (_, g) in grads.iter_mut() {

@@ -1,0 +1,207 @@
+//! # tranad-telemetry
+//!
+//! Event tracing and metrics for the whole workspace, with no external
+//! dependencies. The design goal is a telemetry layer that costs nothing
+//! when disabled: every instrumentation point goes through a [`Recorder`]
+//! handle whose disabled form is a `None` — one branch, zero allocations,
+//! zero atomics on the hot path.
+//!
+//! ## Model
+//!
+//! - **Events** are timestamped `(name, fields)` records ([`Event`]) pushed
+//!   to an [`EventSink`]. Field values are numbers, booleans or strings.
+//! - **Metrics** are named aggregates kept inside the recorder: monotonic
+//!   counters ([`Recorder::add`]), last-value gauges ([`Recorder::gauge`])
+//!   and log2-bucketed histograms ([`Recorder::observe`]). They are emitted
+//!   as summary events by [`Recorder::flush_metrics`].
+//!
+//! ## Sinks
+//!
+//! - [`MemorySink`]: bounded ring buffer, for tests and programmatic
+//!   inspection.
+//! - [`JsonlSink`]: one JSON object per line, written through `tranad-json`
+//!   so traces round-trip with the rest of the workspace's persistence.
+//! - [`NullSink`]: discards everything. Constructing a recorder from it
+//!   yields a *disabled* recorder — the no-op sink really compiles down to
+//!   the `None` branch, not to virtual calls that drop data.
+//!
+//! ## Activation
+//!
+//! [`global()`] returns a process-wide recorder configured from the
+//! `TRANAD_TRACE` environment variable: set it to a file path to get a
+//! JSONL trace, leave it unset for the disabled recorder. Library code that
+//! wants explicit control takes a `&Recorder` parameter instead (sink
+//! injection); the env var is only the default wiring.
+//!
+//! ## Overhead guarantee
+//!
+//! With the recorder disabled, [`Recorder::emit`] never runs its closure
+//! and none of the metric helpers touch memory beyond the `Option`
+//! discriminant check. The bench harness pins this: `bench-alloc` asserts
+//! zero additional allocations per optimizer update with telemetry
+//! disabled, and `crates/tranad/tests/determinism.rs` asserts that a *live*
+//! JSONL sink does not perturb bitwise determinism.
+
+mod event;
+mod metrics;
+mod recorder;
+mod sink;
+
+pub use event::{Event, EventBuilder, Value};
+pub use metrics::{Histogram, MetricSnapshot};
+pub use recorder::{global, Recorder};
+pub use sink::{EventSink, JsonlSink, MemorySink, NullSink};
+
+/// Name of the environment variable that activates the global JSONL trace.
+pub const TRACE_ENV: &str = "TRANAD_TRACE";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn disabled_recorder_never_runs_closure() {
+        let rec = Recorder::disabled();
+        assert!(!rec.enabled());
+        rec.emit("never", |_| panic!("closure must not run when disabled"));
+        rec.add("c", 1);
+        rec.gauge("g", 1.0);
+        rec.observe("h", 1.0);
+        rec.flush_metrics();
+        rec.flush();
+    }
+
+    #[test]
+    fn null_sink_recorder_is_disabled() {
+        let rec = Recorder::new(NullSink);
+        assert!(!rec.enabled());
+        rec.emit("never", |_| panic!("NullSink recorder must be disabled"));
+    }
+
+    #[test]
+    fn memory_sink_captures_events_in_order() {
+        let sink = Arc::new(MemorySink::new(16));
+        let rec = Recorder::with_sink(sink.clone());
+        assert!(rec.enabled());
+        rec.emit("a", |e| {
+            e.f64("x", 1.5).u64("n", 3).bool("ok", true).str("tag", "first");
+        });
+        rec.emit("b", |e| {
+            e.f64("y", -2.0);
+        });
+        let events = sink.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].name, "a");
+        assert_eq!(events[0].get_f64("x"), Some(1.5));
+        assert_eq!(events[0].get_u64("n"), Some(3));
+        assert_eq!(events[0].get_str("tag"), Some("first"));
+        assert_eq!(events[1].name, "b");
+        assert!(events[0].time_s >= 0.0);
+    }
+
+    #[test]
+    fn memory_sink_ring_evicts_oldest() {
+        let sink = Arc::new(MemorySink::new(2));
+        let rec = Recorder::with_sink(sink.clone());
+        rec.emit("e1", |_| {});
+        rec.emit("e2", |_| {});
+        rec.emit("e3", |_| {});
+        let events = sink.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].name, "e2");
+        assert_eq!(events[1].name, "e3");
+    }
+
+    #[test]
+    fn counters_accumulate_and_flush() {
+        let sink = Arc::new(MemorySink::new(64));
+        let rec = Recorder::with_sink(sink.clone());
+        rec.add("pool.hits", 3);
+        rec.add("pool.hits", 4);
+        rec.gauge("lr", 0.1);
+        rec.gauge("lr", 0.05);
+        rec.observe("lat", 1.0);
+        rec.observe("lat", 2.0);
+        rec.observe("lat", 1000.0);
+        rec.flush_metrics();
+        let events = sink.events();
+        let counter = events.iter().find(|e| e.name == "metric.counter").unwrap();
+        assert_eq!(counter.get_str("metric"), Some("pool.hits"));
+        assert_eq!(counter.get_u64("value"), Some(7));
+        let gauge = events.iter().find(|e| e.name == "metric.gauge").unwrap();
+        assert_eq!(gauge.get_f64("value"), Some(0.05));
+        let hist = events.iter().find(|e| e.name == "metric.histogram").unwrap();
+        assert_eq!(hist.get_u64("count"), Some(3));
+        assert_eq!(hist.get_f64("sum"), Some(1003.0));
+        assert_eq!(hist.get_f64("max"), Some(1000.0));
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        let mut h = Histogram::default();
+        h.record(1.0); // 2^0 -> bucket 32
+        h.record(2.0); // 2^1 -> bucket 33
+        h.record(3.9); // still 2^1 -> bucket 33
+        h.record(0.25); // 2^-2 -> bucket 30
+        h.record(0.0); // non-positive -> bucket 0
+        h.record(-5.0); // non-positive -> bucket 0
+        assert_eq!(h.buckets[32], 1);
+        assert_eq!(h.buckets[33], 2);
+        assert_eq!(h.buckets[30], 1);
+        assert_eq!(h.buckets[0], 2);
+        assert_eq!(h.count, 6);
+        assert_eq!(h.min, -5.0);
+        assert_eq!(h.max, 3.9);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parseable_lines() {
+        let path = std::env::temp_dir().join(format!("tranad-telemetry-test-{}.jsonl", std::process::id()));
+        {
+            let rec = Recorder::new(JsonlSink::create(&path).unwrap());
+            rec.emit("train.epoch", |e| {
+                e.u64("epoch", 1).f64("loss", 0.5).bool("improved", true).str("phase", "train");
+            });
+            rec.add("steps", 10);
+            rec.flush_metrics();
+            rec.flush();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let first = tranad_json::parse(lines[0]).unwrap();
+        assert_eq!(first.get("event").unwrap().as_str(), Some("train.epoch"));
+        assert_eq!(first.get("epoch").unwrap().as_f64(), Some(1.0));
+        assert_eq!(first.get("loss").unwrap().as_f64(), Some(0.5));
+        let second = tranad_json::parse(lines[1]).unwrap();
+        assert_eq!(second.get("event").unwrap().as_str(), Some("metric.counter"));
+    }
+
+    #[test]
+    fn event_round_trips_through_json() {
+        let mut b = EventBuilder::new("roundtrip", 1.25);
+        b.f64("x", 3.5).u64("n", 42).bool("flag", false).str("s", "hi");
+        let ev = b.finish();
+        let json = ev.to_json();
+        let parsed = tranad_json::parse(&json.to_string()).unwrap();
+        assert_eq!(parsed.get("event").unwrap().as_str(), Some("roundtrip"));
+        assert_eq!(parsed.get("t").unwrap().as_f64(), Some(1.25));
+        assert_eq!(parsed.get("x").unwrap().as_f64(), Some(3.5));
+        assert_eq!(parsed.get("n").unwrap().as_f64(), Some(42.0));
+        assert_eq!(parsed.get("s").unwrap().as_str(), Some("hi"));
+    }
+
+    #[test]
+    fn snapshot_exposes_metrics_programmatically() {
+        let rec = Recorder::with_sink(Arc::new(MemorySink::new(4)));
+        rec.add("jobs", 2);
+        rec.observe("ms", 8.0);
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter("jobs"), Some(2));
+        let h = snap.histogram("ms").unwrap();
+        assert_eq!(h.count, 1);
+        assert_eq!(h.sum, 8.0);
+    }
+}

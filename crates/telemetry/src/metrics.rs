@@ -1,0 +1,131 @@
+//! In-recorder metric aggregates: counters, gauges and log2-bucketed
+//! histograms. Metrics live in a `BTreeMap` keyed by static name so
+//! [`crate::Recorder::flush_metrics`] emits them in a deterministic order.
+
+use std::collections::BTreeMap;
+
+/// Number of histogram buckets. Bucket `i` (for `i >= 1`) covers values in
+/// `[2^(i-32), 2^(i-31))`; bucket 0 collects non-positive values and
+/// underflow. Bucket 32 therefore covers `[1, 2)`.
+pub const BUCKETS: usize = 64;
+
+/// Offset added to `floor(log2 v)` to get a bucket index.
+const BUCKET_BIAS: i32 = 32;
+
+/// A log2-bucketed histogram: constant memory, one branch + one increment
+/// per observation, good enough resolution (2x) for latency and magnitude
+/// distributions.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Histogram {
+    /// Observations per power-of-two bucket (see [`BUCKETS`]).
+    pub buckets: [u64; BUCKETS],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: f64,
+    /// Smallest observed value.
+    pub min: f64,
+    /// Largest observed value.
+    pub max: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram { buckets: [0; BUCKETS], count: 0, sum: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+}
+
+impl Histogram {
+    /// Bucket index for a value: `floor(log2 v) + 32`, clamped to the
+    /// array; non-positive and non-finite values land in bucket 0.
+    pub fn bucket_for(v: f64) -> usize {
+        if v <= 0.0 || !v.is_finite() {
+            return 0;
+        }
+        (v.log2().floor() as i32 + BUCKET_BIAS).clamp(0, BUCKETS as i32 - 1) as usize
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, v: f64) {
+        self.buckets[Self::bucket_for(v)] += 1;
+        self.count += 1;
+        self.sum += v;
+        if v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    /// Arithmetic mean of observations (NaN when empty).
+    pub fn mean(&self) -> f64 {
+        self.sum / self.count as f64
+    }
+}
+
+/// One named metric.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Metric {
+    /// Monotonic counter.
+    Counter(u64),
+    /// Last-value gauge.
+    Gauge(f64),
+    /// Log2-bucketed histogram (boxed: the bucket array dominates).
+    Histogram(Box<Histogram>),
+}
+
+/// The recorder's metric table. Wrapped by the recorder behind a mutex;
+/// kept as its own type so tests and `flush_metrics` can walk it.
+#[derive(Clone, Debug, Default)]
+pub struct MetricSnapshot {
+    /// Metrics by name, sorted (BTreeMap) for deterministic emission.
+    pub metrics: BTreeMap<&'static str, Metric>,
+}
+
+impl MetricSnapshot {
+    /// Adds `n` to the named counter (creating it at zero).
+    pub fn add(&mut self, name: &'static str, n: u64) {
+        if let Metric::Counter(c) = self.metrics.entry(name).or_insert(Metric::Counter(0)) {
+            *c += n;
+        }
+    }
+
+    /// Sets the named gauge.
+    pub fn gauge(&mut self, name: &'static str, v: f64) {
+        *self.metrics.entry(name).or_insert(Metric::Gauge(v)) = Metric::Gauge(v);
+    }
+
+    /// Records an observation in the named histogram.
+    pub fn observe(&mut self, name: &'static str, v: f64) {
+        if let Metric::Histogram(h) =
+            self.metrics.entry(name).or_insert_with(|| Metric::Histogram(Box::default()))
+        {
+            h.record(v);
+        }
+    }
+
+    /// Current value of a counter, if one exists under that name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.metrics.get(name)? {
+            Metric::Counter(c) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// Current value of a gauge, if one exists under that name.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        match self.metrics.get(name)? {
+            Metric::Gauge(g) => Some(*g),
+            _ => None,
+        }
+    }
+
+    /// The named histogram, if one exists.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        match self.metrics.get(name)? {
+            Metric::Histogram(h) => Some(h.as_ref()),
+            _ => None,
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! The [`Recorder`] handle and the process-global recorder.
+
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::event::EventBuilder;
+use crate::metrics::{Metric, MetricSnapshot};
+use crate::sink::{EventSink, JsonlSink};
+
+struct Inner {
+    sink: Arc<dyn EventSink>,
+    start: Instant,
+    metrics: Mutex<MetricSnapshot>,
+}
+
+/// A cheap, cloneable telemetry handle. A disabled recorder is a `None`:
+/// every entry point checks one discriminant and returns, so instrumented
+/// hot paths cost nothing when tracing is off — no allocation, no locking,
+/// no event construction (the `emit` closure is never called).
+#[derive(Clone, Default)]
+pub struct Recorder {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Recorder {
+    /// The zero-cost disabled recorder (same as `Recorder::default()`).
+    pub fn disabled() -> Self {
+        Recorder { inner: None }
+    }
+
+    /// A recorder feeding `sink`. If the sink reports itself as a no-op
+    /// ([`EventSink::is_noop`]), the result is the disabled recorder.
+    pub fn new(sink: impl EventSink + 'static) -> Self {
+        Self::with_sink(Arc::new(sink))
+    }
+
+    /// Like [`Recorder::new`] but shares an existing sink handle, so the
+    /// caller can keep inspecting it (e.g. a `MemorySink` in a test).
+    pub fn with_sink(sink: Arc<dyn EventSink>) -> Self {
+        if sink.is_noop() {
+            return Self::disabled();
+        }
+        Recorder {
+            inner: Some(Arc::new(Inner {
+                sink,
+                start: Instant::now(),
+                metrics: Mutex::new(MetricSnapshot::default()),
+            })),
+        }
+    }
+
+    /// Builds the recorder the `TRANAD_TRACE` environment variable asks
+    /// for: a JSONL recorder writing to that path, or disabled when the
+    /// variable is unset/empty (or the file cannot be created).
+    pub fn from_env() -> Self {
+        match std::env::var(crate::TRACE_ENV) {
+            Ok(path) if !path.is_empty() => match JsonlSink::create(&path) {
+                Ok(sink) => Self::new(sink),
+                Err(_) => Self::disabled(),
+            },
+            _ => Self::disabled(),
+        }
+    }
+
+    /// `true` when events and metrics are actually collected.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Records one event. The closure receives an [`EventBuilder`] to fill
+    /// in fields; it is **only called when the recorder is enabled**, so
+    /// callers may compute expensive fields inside it for free on the
+    /// disabled path.
+    #[inline]
+    pub fn emit(&self, name: &'static str, fill: impl FnOnce(&mut EventBuilder)) {
+        let Some(inner) = &self.inner else { return };
+        let mut b = EventBuilder::new(name, inner.start.elapsed().as_secs_f64());
+        fill(&mut b);
+        inner.sink.record(b.finish());
+    }
+
+    /// Adds `n` to a monotonic counter.
+    #[inline]
+    pub fn add(&self, name: &'static str, n: u64) {
+        let Some(inner) = &self.inner else { return };
+        inner.metrics.lock().unwrap().add(name, n);
+    }
+
+    /// Sets a last-value gauge.
+    #[inline]
+    pub fn gauge(&self, name: &'static str, v: f64) {
+        let Some(inner) = &self.inner else { return };
+        inner.metrics.lock().unwrap().gauge(name, v);
+    }
+
+    /// Records one observation in a log2-bucketed histogram.
+    #[inline]
+    pub fn observe(&self, name: &'static str, v: f64) {
+        let Some(inner) = &self.inner else { return };
+        inner.metrics.lock().unwrap().observe(name, v);
+    }
+
+    /// A copy of the current metric table (empty when disabled).
+    pub fn snapshot(&self) -> MetricSnapshot {
+        match &self.inner {
+            Some(inner) => inner.metrics.lock().unwrap().clone(),
+            None => MetricSnapshot::default(),
+        }
+    }
+
+    /// Emits every metric as a summary event (`metric.counter`,
+    /// `metric.gauge`, `metric.histogram`) in name order. Metrics keep
+    /// accumulating afterwards; call at natural boundaries (end of
+    /// training, end of a bench cell).
+    pub fn flush_metrics(&self) {
+        let Some(inner) = &self.inner else { return };
+        let snap = inner.metrics.lock().unwrap().clone();
+        for (name, metric) in &snap.metrics {
+            let t = inner.start.elapsed().as_secs_f64();
+            let b = match metric {
+                Metric::Counter(c) => {
+                    let mut b = EventBuilder::new("metric.counter", t);
+                    b.str("metric", *name).u64("value", *c);
+                    b
+                }
+                Metric::Gauge(g) => {
+                    let mut b = EventBuilder::new("metric.gauge", t);
+                    b.str("metric", *name).f64("value", *g);
+                    b
+                }
+                Metric::Histogram(h) => {
+                    let mut b = EventBuilder::new("metric.histogram", t);
+                    b.str("metric", *name)
+                        .u64("count", h.count)
+                        .f64("sum", h.sum)
+                        .f64("min", h.min)
+                        .f64("max", h.max)
+                        .f64("mean", h.mean());
+                    // Only non-empty buckets, as "b<index>" fields.
+                    for (i, &n) in h.buckets.iter().enumerate() {
+                        if n > 0 {
+                            b.u64(BUCKET_KEYS[i], n);
+                        }
+                    }
+                    b
+                }
+            };
+            inner.sink.record(b.finish());
+        }
+    }
+
+    /// Flushes the sink (file sinks write through to disk).
+    pub fn flush(&self) {
+        if let Some(inner) = &self.inner {
+            inner.sink.flush();
+        }
+    }
+}
+
+/// Static field keys `"b0"`..`"b63"` so histogram emission needs no
+/// allocation-per-key and keys stay `&'static str`.
+static BUCKET_KEYS: [&str; crate::metrics::BUCKETS] = [
+    "b0", "b1", "b2", "b3", "b4", "b5", "b6", "b7", "b8", "b9", "b10", "b11", "b12", "b13", "b14",
+    "b15", "b16", "b17", "b18", "b19", "b20", "b21", "b22", "b23", "b24", "b25", "b26", "b27",
+    "b28", "b29", "b30", "b31", "b32", "b33", "b34", "b35", "b36", "b37", "b38", "b39", "b40",
+    "b41", "b42", "b43", "b44", "b45", "b46", "b47", "b48", "b49", "b50", "b51", "b52", "b53",
+    "b54", "b55", "b56", "b57", "b58", "b59", "b60", "b61", "b62", "b63",
+];
+
+/// The process-wide recorder, configured once from `TRANAD_TRACE` on first
+/// use. Library entry points that do not take an explicit `&Recorder`
+/// default to this.
+pub fn global() -> &'static Recorder {
+    static GLOBAL: OnceLock<Recorder> = OnceLock::new();
+    GLOBAL.get_or_init(Recorder::from_env)
+}

@@ -52,6 +52,8 @@ pub struct PoolStats {
     pub recycled: u64,
     /// Freed buffers dropped (class full or oversized).
     pub dropped: u64,
+    /// Bytes of storage parked for reuse (capacity, not length).
+    pub bytes_recycled: u64,
 }
 
 struct Pool {
@@ -136,6 +138,7 @@ pub fn recycle(arc: Arc<Vec<f64>>) {
         let mut p = p.borrow_mut();
         if enabled() && class < CLASSES && p.classes[class].len() < PER_CLASS {
             p.stats.recycled += 1;
+            p.stats.bytes_recycled += (cap * std::mem::size_of::<f64>()) as u64;
             p.classes[class].push(arc);
         } else {
             p.stats.dropped += 1;
@@ -151,6 +154,22 @@ pub fn stats() -> PoolStats {
 /// Zeroes this thread's pool counters (buffers stay pooled).
 pub fn reset_stats() {
     POOL.with(|p| p.borrow_mut().stats = PoolStats::default());
+}
+
+/// Emits this thread's buffer-pool counters as a `pool.buffers` event on
+/// `rec` (no-op when the recorder is disabled).
+pub fn record_stats(rec: &tranad_telemetry::Recorder) {
+    if !rec.enabled() {
+        return;
+    }
+    let s = stats();
+    rec.emit("pool.buffers", |e| {
+        e.u64("hits", s.hits)
+            .u64("misses", s.misses)
+            .u64("recycled", s.recycled)
+            .u64("dropped", s.dropped)
+            .u64("bytes_recycled", s.bytes_recycled);
+    });
 }
 
 /// Frees every pooled buffer on this thread (counters stay).

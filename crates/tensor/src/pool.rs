@@ -21,8 +21,64 @@
 //! Small inputs must not pay dispatch overhead: callers gate on a size
 //! cutoff and fall back to plain serial loops (see `Tensor`'s ops).
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Lifetime counters for the pool (process-wide, all threads). Cheap to
+/// maintain — a few relaxed atomic adds per *job*, never per task — so they
+/// stay on even when telemetry is disabled.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolCounters {
+    /// Parallel jobs dispatched through the pool.
+    pub jobs: u64,
+    /// Tasks contained in those jobs.
+    pub tasks: u64,
+    /// Tasks executed by worker threads (i.e. stolen from the submitting
+    /// thread, which also drains the queue).
+    pub stolen: u64,
+    /// Tasks that ran inline because the region was serial (one thread,
+    /// single task, or nested inside another pool task).
+    pub serial_tasks: u64,
+}
+
+static JOBS: AtomicU64 = AtomicU64::new(0);
+static TASKS: AtomicU64 = AtomicU64::new(0);
+static STOLEN: AtomicU64 = AtomicU64::new(0);
+static SERIAL_TASKS: AtomicU64 = AtomicU64::new(0);
+
+/// Snapshot of the pool's lifetime counters since the last [`reset_counters`].
+pub fn counters() -> PoolCounters {
+    PoolCounters {
+        jobs: JOBS.load(Ordering::Relaxed),
+        tasks: TASKS.load(Ordering::Relaxed),
+        stolen: STOLEN.load(Ordering::Relaxed),
+        serial_tasks: SERIAL_TASKS.load(Ordering::Relaxed),
+    }
+}
+
+/// Zeroes the pool's lifetime counters.
+pub fn reset_counters() {
+    JOBS.store(0, Ordering::Relaxed);
+    TASKS.store(0, Ordering::Relaxed);
+    STOLEN.store(0, Ordering::Relaxed);
+    SERIAL_TASKS.store(0, Ordering::Relaxed);
+}
+
+/// Emits the pool counters as a `pool.threads` event on `rec` (no-op when
+/// the recorder is disabled).
+pub fn record_counters(rec: &tranad_telemetry::Recorder) {
+    if !rec.enabled() {
+        return;
+    }
+    let c = counters();
+    rec.emit("pool.threads", |e| {
+        e.u64("threads", current_threads() as u64)
+            .u64("jobs", c.jobs)
+            .u64("tasks", c.tasks)
+            .u64("stolen", c.stolen)
+            .u64("serial_tasks", c.serial_tasks);
+    });
+}
 
 /// One submitted job: a borrowed task closure plus drain-state.
 struct Job {
@@ -43,14 +99,16 @@ unsafe impl Send for Job {}
 unsafe impl Sync for Job {}
 
 impl Job {
-    /// Drains tasks until the queue is empty; returns whether this thread
-    /// completed the final task.
-    fn work(&self) {
+    /// Drains tasks until the queue is empty; returns how many tasks this
+    /// thread executed (feeds the steal counters).
+    fn work(&self) -> u64 {
+        let mut executed = 0u64;
         loop {
             let i = self.cursor.fetch_add(1, Ordering::Relaxed);
             if i >= self.n {
-                return;
+                return executed;
             }
+            executed += 1;
             // SAFETY: see `unsafe impl Send` above.
             let task = unsafe { &*self.task };
             let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task(i)));
@@ -118,7 +176,10 @@ impl Pool {
                 inbox.job.clone()
             };
             if let Some(job) = job {
-                job.work();
+                let stolen = job.work();
+                if stolen > 0 {
+                    STOLEN.fetch_add(stolen, Ordering::Relaxed);
+                }
             }
         }
     }
@@ -201,6 +262,7 @@ pub fn run(n: usize, task: &(dyn Fn(usize) + Sync)) {
         return;
     }
     if n == 1 || current_threads() <= 1 {
+        SERIAL_TASKS.fetch_add(n as u64, Ordering::Relaxed);
         for i in 0..n {
             task(i);
         }
@@ -220,6 +282,8 @@ pub fn run(n: usize, task: &(dyn Fn(usize) + Sync)) {
         done: Mutex::new(false),
         done_cv: Condvar::new(),
     });
+    JOBS.fetch_add(1, Ordering::Relaxed);
+    TASKS.fetch_add(n as u64, Ordering::Relaxed);
     pool.publish(job.clone());
     // Participate; mark this thread as in-pool so nested calls go serial.
     let was_in_pool = IN_POOL.with(|f| f.replace(true));

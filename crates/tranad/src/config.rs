@@ -1,5 +1,7 @@
 //! TranAD hyperparameters (paper §4) and ablation switches (§5.1).
 
+use crate::error::DetectorError;
+
 /// Configuration of the TranAD model and training loop.
 ///
 /// Defaults follow the paper: window size 10, 1 transformer encoder layer,
@@ -126,13 +128,126 @@ impl TranadConfig {
         (2 * m).max(16)
     }
 
-    /// Validates invariants, panicking with a descriptive message.
-    pub fn validate(&self) {
-        assert!(self.window >= 1, "window must be >= 1");
-        assert!(self.context >= self.window, "context must cover the window");
-        assert!(self.epsilon > 1.0, "epsilon must exceed 1 for a decaying reconstruction weight");
-        assert!((0.0..1.0).contains(&self.dropout), "dropout in [0,1)");
-        assert!(self.batch_size >= 1 && self.epochs >= 1, "batching config");
+    /// Validates invariants. Prefer constructing through
+    /// [`TranadConfig::builder`], which calls this for you.
+    pub fn validate(&self) -> Result<(), DetectorError> {
+        let bad = |msg: &str| Err(DetectorError::InvalidConfig(msg.to_string()));
+        if self.window < 1 {
+            return bad("window must be >= 1");
+        }
+        if self.context < self.window {
+            return bad("context must cover the window");
+        }
+        if self.epsilon <= 1.0 || !self.epsilon.is_finite() {
+            return bad("epsilon must exceed 1 for a decaying reconstruction weight");
+        }
+        if !(0.0..1.0).contains(&self.dropout) {
+            return bad("dropout must be in [0,1)");
+        }
+        if self.batch_size < 1 {
+            return bad("batch_size must be >= 1");
+        }
+        if self.epochs < 1 {
+            return bad("epochs must be >= 1");
+        }
+        if self.lr <= 0.0 || !self.lr.is_finite() {
+            return bad("lr must be positive and finite");
+        }
+        if self.meta_lr <= 0.0 || !self.meta_lr.is_finite() {
+            return bad("meta_lr must be positive and finite");
+        }
+        if self.lr_step < 1 {
+            return bad("lr_step must be >= 1");
+        }
+        if self.patience < 1 {
+            return bad("patience must be >= 1");
+        }
+        if self.max_heads < 1 {
+            return bad("max_heads must be >= 1");
+        }
+        if self.ff_hidden < 1 {
+            return bad("ff_hidden must be >= 1");
+        }
+        if self.max_windows_per_epoch < 1 {
+            return bad("max_windows_per_epoch must be >= 1");
+        }
+        Ok(())
+    }
+
+    /// Starts a validating builder seeded with the paper defaults:
+    /// `TranadConfig::builder().window(10).build()?`.
+    pub fn builder() -> TranadConfigBuilder {
+        TranadConfigBuilder { config: TranadConfig::default() }
+    }
+}
+
+/// Validating builder for [`TranadConfig`]. Every setter overrides one
+/// paper-default field; [`TranadConfigBuilder::build`] rejects invalid
+/// combinations (window = 0, context < window, ε ≤ 1, ...) up front instead
+/// of panicking mid-epoch.
+#[derive(Debug, Clone, Copy)]
+pub struct TranadConfigBuilder {
+    config: TranadConfig,
+}
+
+macro_rules! builder_setters {
+    ($($(#[$doc:meta])* $field:ident: $ty:ty),* $(,)?) => {
+        $(
+            $(#[$doc])*
+            pub fn $field(mut self, $field: $ty) -> Self {
+                self.config.$field = $field;
+                self
+            }
+        )*
+    };
+}
+
+impl TranadConfigBuilder {
+    builder_setters! {
+        /// Local context window length `K`.
+        window: usize,
+        /// Encoded complete-sequence context length.
+        context: usize,
+        /// Feed-forward hidden width inside encoder layers.
+        ff_hidden: usize,
+        /// Dropout probability in the encoders.
+        dropout: f64,
+        /// Upper bound on attention heads.
+        max_heads: usize,
+        /// Initial AdamW learning rate.
+        lr: f64,
+        /// Meta-learning (outer MAML) rate.
+        meta_lr: f64,
+        /// Scheduler: halve the lr every this many epochs.
+        lr_step: u64,
+        /// Maximum training epochs.
+        epochs: usize,
+        /// Mini-batch size for window batches.
+        batch_size: usize,
+        /// Evolutionary hyperparameter ε of Eq. 10 (must exceed 1).
+        epsilon: f64,
+        /// Early-stopping patience in epochs.
+        patience: usize,
+        /// Upper bound on training windows visited per epoch.
+        max_windows_per_epoch: usize,
+        /// RNG seed for weight init, batching and dropout.
+        seed: u64,
+        /// Ablation: transformer encoders on/off.
+        use_transformer: bool,
+        /// Ablation: self-conditioning on/off.
+        self_conditioning: bool,
+        /// Ablation: two-phase adversarial training on/off.
+        adversarial: bool,
+        /// Ablation: per-epoch MAML meta step on/off.
+        maml: bool,
+        /// Extension: bidirectional (non-causal) window encoding.
+        bidirectional: bool,
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<TranadConfig, DetectorError> {
+        self.config.validate()?;
+        Ok(self.config)
     }
 }
 
@@ -189,7 +304,7 @@ mod tests {
         assert_eq!(c.dropout, 0.1);
         assert_eq!(c.lr, 0.01);
         assert_eq!(c.meta_lr, 0.02);
-        c.validate();
+        c.validate().unwrap();
     }
 
     #[test]
@@ -225,8 +340,25 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "context must cover the window")]
     fn validate_rejects_short_context() {
-        TranadConfig { context: 5, window: 10, ..Default::default() }.validate();
+        let err = TranadConfig { context: 5, window: 10, ..Default::default() }
+            .validate()
+            .unwrap_err();
+        assert!(err.to_string().contains("context must cover the window"));
+    }
+
+    #[test]
+    fn builder_applies_overrides_and_validates() {
+        let c = TranadConfig::builder().window(12).context(24).epochs(2).build().unwrap();
+        assert_eq!(c.window, 12);
+        assert_eq!(c.context, 24);
+        assert_eq!(c.epochs, 2);
+        assert_eq!(c.ff_hidden, TranadConfig::default().ff_hidden);
+
+        assert!(TranadConfig::builder().window(0).build().is_err());
+        assert!(TranadConfig::builder().window(10).context(5).build().is_err());
+        assert!(TranadConfig::builder().epsilon(0.5).build().is_err());
+        assert!(TranadConfig::builder().dropout(1.0).build().is_err());
+        assert!(TranadConfig::builder().lr(0.0).build().is_err());
     }
 }

@@ -2,9 +2,12 @@
 //! §3.5): POT-thresholded per-dimension labels, OR-reduced to timestamp
 //! labels.
 
+use crate::error::DetectorError;
 use crate::train::TrainedTranad;
+use std::time::Instant;
 use tranad_data::TimeSeries;
-use tranad_evt::{PotConfig, Spot};
+use tranad_evt::{PotConfig, PotError, Spot};
+use tranad_telemetry::Recorder;
 use tranad_tensor::pool;
 
 /// Detection output for a test series.
@@ -24,10 +27,44 @@ pub struct Detection {
 
 impl TrainedTranad {
     /// Runs Algorithm 2 on a raw test series: scores every timestamp,
-    /// fits POT per dimension on the training scores, and labels.
-    pub fn detect(&self, test: &TimeSeries, pot: PotConfig) -> Detection {
+    /// fits POT per dimension on the training scores, and labels. Traces
+    /// to the process-global recorder; see [`TrainedTranad::detect_with`].
+    pub fn detect(&self, test: &TimeSeries, pot: PotConfig) -> Result<Detection, DetectorError> {
+        self.detect_with(test, pot, tranad_telemetry::global())
+    }
+
+    /// [`TrainedTranad::detect`] with an explicit recorder: emits a
+    /// `detect.score` event (window count, wall time, mean per-window
+    /// latency, also observed on the `detect.window_us` histogram) and one
+    /// `pot.dim` event per dimension.
+    pub fn detect_with(
+        &self,
+        test: &TimeSeries,
+        pot: PotConfig,
+        rec: &Recorder,
+    ) -> Result<Detection, DetectorError> {
+        if test.is_empty() {
+            return Err(DetectorError::EmptySeries);
+        }
+        if test.dims() != self.model.dims() {
+            return Err(DetectorError::DimensionMismatch {
+                expected: self.model.dims(),
+                got: test.dims(),
+            });
+        }
+        let started = Instant::now();
         let scores = self.score_series(test);
-        detect_from_scores(&self.train_scores, &scores, pot)
+        if rec.enabled() {
+            let seconds = started.elapsed().as_secs_f64();
+            let us_per_window = 1e6 * seconds / test.len().max(1) as f64;
+            rec.observe("detect.window_us", us_per_window);
+            rec.emit("detect.score", |e| {
+                e.u64("windows", test.len() as u64)
+                    .f64("seconds", seconds)
+                    .f64("us_per_window", us_per_window);
+            });
+        }
+        detect_from_scores_with(&self.train_scores, &scores, pot, rec)
     }
 }
 
@@ -40,13 +77,27 @@ pub fn detect_from_scores(
     calibration_scores: &[Vec<f64>],
     test_scores: &[Vec<f64>],
     pot: PotConfig,
-) -> Detection {
-    assert!(!test_scores.is_empty(), "no test scores");
+) -> Result<Detection, DetectorError> {
+    detect_from_scores_with(calibration_scores, test_scores, pot, &Recorder::disabled())
+}
+
+/// [`detect_from_scores`] with telemetry: after the parallel SPOT walks,
+/// one `pot.dim` event per dimension (threshold, peak count, streaming
+/// re-calibrations) is emitted serially in dimension order, so the trace
+/// is deterministic and the computation itself is untouched.
+pub fn detect_from_scores_with(
+    calibration_scores: &[Vec<f64>],
+    test_scores: &[Vec<f64>],
+    pot: PotConfig,
+    rec: &Recorder,
+) -> Result<Detection, DetectorError> {
+    if test_scores.is_empty() || calibration_scores.is_empty() {
+        return Err(DetectorError::EmptySeries);
+    }
     let m = test_scores[0].len();
-    assert!(
-        calibration_scores.iter().all(|r| r.len() == m),
-        "calibration dimensionality mismatch"
-    );
+    if let Some(bad) = calibration_scores.iter().find(|r| r.len() != m) {
+        return Err(DetectorError::DimensionMismatch { expected: m, got: bad.len() });
+    }
 
     // One streaming SPOT per dimension: initialized on the nominal
     // (training) score distribution, adapting on non-alarm test scores so
@@ -54,19 +105,28 @@ pub fn detect_from_scores(
     // Dimensions are independent, so they run on the thread pool; each
     // dimension's SPOT walk stays sequential, so the result is identical
     // for any thread count.
-    let mut per_dim: Vec<(Vec<bool>, f64)> = vec![(Vec::new(), 0.0); m];
+    type DimResult = Result<(Vec<bool>, f64, usize, u64), PotError>;
+    let mut per_dim: Vec<DimResult> = vec![Ok((Vec::new(), 0.0, 0, 0)); m];
     pool::parallel_chunks_mut(&mut per_dim, 1, |d, slot| {
         let calib: Vec<f64> = calibration_scores.iter().map(|r| r[d]).collect();
-        let mut spot = Spot::init(&calib, pot);
-        let labels: Vec<bool> = test_scores.iter().map(|row| spot.step(row[d])).collect();
-        slot[0] = (labels, spot.threshold);
+        slot[0] = Spot::try_init(&calib, pot).map(|mut spot| {
+            let labels: Vec<bool> = test_scores.iter().map(|row| spot.step(row[d])).collect();
+            (labels, spot.threshold, spot.n_peaks(), spot.refits())
+        });
     });
     let mut thresholds = Vec::with_capacity(m);
     let mut dim_labels = vec![vec![false; m]; test_scores.len()];
-    for (d, (labels, threshold)) in per_dim.into_iter().enumerate() {
+    for (d, result) in per_dim.into_iter().enumerate() {
+        let (labels, threshold, n_peaks, refits) = result.map_err(|e| DetectorError::pot(d, e))?;
         for (t, l) in labels.into_iter().enumerate() {
             dim_labels[t][d] = l;
         }
+        rec.emit("pot.dim", |e| {
+            e.u64("dim", d as u64)
+                .f64("threshold", threshold)
+                .u64("n_peaks", n_peaks as u64)
+                .u64("refits", refits);
+        });
         thresholds.push(threshold);
     }
     let labels: Vec<bool> = dim_labels.iter().map(|row| row.iter().any(|&b| b)).collect();
@@ -74,7 +134,7 @@ pub fn detect_from_scores(
         .iter()
         .map(|row| row.iter().sum::<f64>() / m as f64)
         .collect();
-    Detection { scores: test_scores.to_vec(), aggregate, dim_labels, labels, thresholds }
+    Ok(Detection { scores: test_scores.to_vec(), aggregate, dim_labels, labels, thresholds })
 }
 
 /// Labels a test series from the *aggregate* (dimension-averaged) score
@@ -85,13 +145,32 @@ pub fn detect_aggregate(
     calibration_scores: &[Vec<f64>],
     test_scores: &[Vec<f64>],
     pot: PotConfig,
-) -> Vec<bool> {
-    assert!(!test_scores.is_empty(), "no test scores");
+) -> Result<Vec<bool>, DetectorError> {
+    detect_aggregate_with(calibration_scores, test_scores, pot, &Recorder::disabled())
+}
+
+/// [`detect_aggregate`] with telemetry: emits one `pot.aggregate` event
+/// (final threshold, peak count, streaming re-calibrations).
+pub fn detect_aggregate_with(
+    calibration_scores: &[Vec<f64>],
+    test_scores: &[Vec<f64>],
+    pot: PotConfig,
+    rec: &Recorder,
+) -> Result<Vec<bool>, DetectorError> {
+    if test_scores.is_empty() || calibration_scores.is_empty() {
+        return Err(DetectorError::EmptySeries);
+    }
     let mean = |row: &Vec<f64>| row.iter().sum::<f64>() / row.len().max(1) as f64;
     let calib: Vec<f64> = calibration_scores.iter().map(mean).collect();
-    assert!(!calib.is_empty(), "no calibration scores");
-    let mut spot = Spot::init(&calib, pot);
-    test_scores.iter().map(|row| spot.step(mean(row))).collect()
+    let mut spot =
+        Spot::try_init(&calib, pot).map_err(|e| DetectorError::pot(usize::MAX, e))?;
+    let labels = test_scores.iter().map(|row| spot.step(mean(row))).collect();
+    rec.emit("pot.aggregate", |e| {
+        e.f64("threshold", spot.threshold)
+            .u64("n_peaks", spot.n_peaks() as u64)
+            .u64("refits", spot.refits());
+    });
+    Ok(labels)
 }
 
 #[cfg(test)]
@@ -112,7 +191,7 @@ mod tests {
     #[test]
     fn aggregate_detection_flags_anomaly() {
         let (calib, test) = scores_with_anomaly();
-        let labels = detect_aggregate(&calib, &test, PotConfig::default());
+        let labels = detect_aggregate(&calib, &test, PotConfig::default()).unwrap();
         assert!(labels[100..105].iter().all(|&b| b));
         assert!(labels[..100].iter().all(|&b| !b));
     }
@@ -120,7 +199,7 @@ mod tests {
     #[test]
     fn detects_and_localizes() {
         let (calib, test) = scores_with_anomaly();
-        let det = detect_from_scores(&calib, &test, PotConfig::default());
+        let det = detect_from_scores(&calib, &test, PotConfig::default()).unwrap();
         assert!(det.labels[100..105].iter().all(|&b| b));
         assert!(det.dim_labels[102][1]);
         assert!(!det.dim_labels[102][0]);
@@ -132,7 +211,7 @@ mod tests {
     fn aggregate_is_mean() {
         let calib = vec![vec![0.0, 0.0]; 100];
         let test = vec![vec![1.0, 3.0]];
-        let det = detect_from_scores(&calib, &test, PotConfig::default());
+        let det = detect_from_scores(&calib, &test, PotConfig::default()).unwrap();
         assert_eq!(det.aggregate, vec![2.0]);
     }
 
@@ -141,7 +220,7 @@ mod tests {
         let calib: Vec<Vec<f64>> = (0..3000)
             .map(|t| vec![(t % 10) as f64 * 0.01, (t % 10) as f64 * 1.0])
             .collect();
-        let det = detect_from_scores(&calib, &calib[..10], PotConfig::default());
+        let det = detect_from_scores(&calib, &calib[..10], PotConfig::default()).unwrap();
         assert!(det.thresholds[1] > det.thresholds[0] * 10.0);
     }
 }

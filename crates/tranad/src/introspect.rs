@@ -83,7 +83,7 @@ mod tests {
     #[test]
     fn introspection_covers_series() {
         let series = toy_series(150, 2, 1);
-        let (trained, _) = train(&series, cfg());
+        let (trained, _) = train(&series, cfg()).unwrap();
         let intro = trained.introspect(&series).expect("transformer model");
         assert_eq!(intro.attention.len(), series.len());
         assert_eq!(intro.focus.len(), series.len());
@@ -94,7 +94,7 @@ mod tests {
     #[test]
     fn focus_correlates_with_anomalies() {
         let series = toy_series(300, 1, 2);
-        let (trained, _) = train(&series, cfg());
+        let (trained, _) = train(&series, cfg()).unwrap();
         let mut test = series.clone();
         for t in 150..155 {
             test.set(t, 0, 8.0);
@@ -111,7 +111,8 @@ mod tests {
         let (trained, _) = train(
             &series,
             TranadConfig { use_transformer: false, ..cfg() },
-        );
+        )
+        .unwrap();
         assert!(trained.introspect(&series).is_none());
     }
 }

@@ -19,18 +19,26 @@
 //! let col: Vec<f64> = (0..200).map(|t| (t as f64 / 8.0).sin()).collect();
 //! let series = TimeSeries::from_columns(&[col]);
 //!
-//! let config = TranadConfig { epochs: 2, window: 6, context: 12, ff_hidden: 8,
-//!                             ..TranadConfig::default() };
-//! let (detector, report) = train(&series, config);
+//! let config = TranadConfig::builder()
+//!     .epochs(2).window(6).context(12).ff_hidden(8)
+//!     .build().unwrap();
+//! let (detector, report) = train(&series, config).unwrap();
 //! assert!(report.epochs_run >= 1);
 //!
-//! let detection = detector.detect(&series, PotConfig::default());
+//! let detection = detector.detect(&series, PotConfig::default()).unwrap();
 //! assert_eq!(detection.labels.len(), series.len());
 //! ```
+//!
+//! Every pipeline stage is instrumented: set `TRANAD_TRACE=/path/trace.jsonl`
+//! (or pass a [`tranad_telemetry::Recorder`] to the `*_with` variants) to
+//! stream per-epoch losses, POT calibration details, buffer-pool stats and
+//! more as JSON lines. With no sink configured the instrumentation costs
+//! zero allocations per training step.
 
 pub mod ablation;
 pub mod config;
 pub mod detect;
+pub mod error;
 pub mod introspect;
 pub mod model;
 pub mod online;
@@ -38,13 +46,17 @@ pub mod persist;
 pub mod train;
 
 pub use ablation::Ablation;
-pub use config::TranadConfig;
-pub use detect::{detect_aggregate, detect_from_scores, Detection};
+pub use config::{TranadConfig, TranadConfigBuilder};
+pub use detect::{
+    detect_aggregate, detect_aggregate_with, detect_from_scores, detect_from_scores_with,
+    Detection,
+};
+pub use error::DetectorError;
 pub use introspect::Introspection;
 pub use model::{TranadModel, TranadOutput};
 pub use online::{OnlineDetector, OnlineVerdict};
 pub use persist::PersistError;
-pub use train::{train, TrainReport, TrainedTranad};
+pub use train::{train, train_with, TrainReport, TrainedTranad};
 
 // Re-export the POT configuration: it is part of the detection API surface.
 pub use tranad_evt::PotConfig;

@@ -53,7 +53,11 @@ impl TranadModel {
     /// Builds a model for `dims`-dimensional data, registering parameters in
     /// `store`.
     pub fn new(store: &mut ParamStore, init: &mut Init, dims: usize, config: TranadConfig) -> Self {
-        config.validate();
+        // Fallible callers validate first (`train_with` returns the error);
+        // direct construction with a bad config is a programming error.
+        if let Err(e) = config.validate() {
+            panic!("{e}");
+        }
         let d_model = config.d_model(dims);
         let embed = (2 * dims < d_model)
             .then(|| Linear::new(store, init, 2 * dims, d_model));

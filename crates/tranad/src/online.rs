@@ -3,10 +3,13 @@
 //! only past observations, and per-dimension streaming SPOT thresholds turn
 //! scores into labels on the spot.
 
+use crate::error::DetectorError;
 use crate::train::TrainedTranad;
+use std::time::Instant;
 use tranad_data::TimeSeries;
 use tranad_evt::{PotConfig, Spot};
 use tranad_nn::Ctx;
+use tranad_telemetry::Recorder;
 use tranad_tensor::Tensor;
 
 /// The verdict for one streamed datapoint.
@@ -30,20 +33,33 @@ pub struct OnlineDetector<'a> {
     history: Vec<Vec<f64>>, // normalized rows, newest last
     spots: Vec<Spot>,
     dims: usize,
+    rec: Recorder,
 }
 
 impl<'a> OnlineDetector<'a> {
     /// Creates a streaming detector; SPOT is initialized from the model's
-    /// training scores.
-    pub fn new(trained: &'a TrainedTranad, pot: PotConfig) -> Self {
+    /// training scores. Fails with [`DetectorError::PotFitFailed`] when a
+    /// dimension's training scores cannot calibrate SPOT. Traces to the
+    /// process-global recorder.
+    pub fn new(trained: &'a TrainedTranad, pot: PotConfig) -> Result<Self, DetectorError> {
+        Self::with_recorder(trained, pot, tranad_telemetry::global().clone())
+    }
+
+    /// [`OnlineDetector::new`] with an explicit recorder: every `push`
+    /// observes its latency on the `online.push_us` histogram, and
+    /// [`OnlineDetector::flush_telemetry`] reports total re-calibrations.
+    pub fn with_recorder(
+        trained: &'a TrainedTranad,
+        pot: PotConfig,
+        rec: Recorder,
+    ) -> Result<Self, DetectorError> {
         let dims = trained.model.dims();
-        let spots = (0..dims)
-            .map(|d| {
-                let calib: Vec<f64> = trained.train_scores.iter().map(|r| r[d]).collect();
-                Spot::init(&calib, pot)
-            })
-            .collect();
-        OnlineDetector { trained, history: Vec::new(), spots, dims }
+        let mut spots = Vec::with_capacity(dims);
+        for d in 0..dims {
+            let calib: Vec<f64> = trained.train_scores.iter().map(|r| r[d]).collect();
+            spots.push(Spot::try_init(&calib, pot).map_err(|e| DetectorError::pot(d, e))?);
+        }
+        Ok(OnlineDetector { trained, history: Vec::new(), spots, dims, rec })
     }
 
     /// Number of datapoints consumed so far.
@@ -56,9 +72,31 @@ impl<'a> OnlineDetector<'a> {
         self.history.is_empty()
     }
 
-    /// Consumes one raw datapoint and returns its verdict.
-    pub fn push(&mut self, datapoint: &[f64]) -> OnlineVerdict {
-        assert_eq!(datapoint.len(), self.dims, "datapoint dimensionality");
+    /// Total streaming SPOT re-calibrations across all dimensions so far.
+    pub fn refits(&self) -> u64 {
+        self.spots.iter().map(|s| s.refits()).sum()
+    }
+
+    /// Emits an `online.stream` summary event (points consumed, total SPOT
+    /// re-calibrations) on the detector's recorder.
+    pub fn flush_telemetry(&self) {
+        let rec = self.rec.clone();
+        rec.emit("online.stream", |e| {
+            e.u64("points", self.history.len() as u64).u64("refits", self.refits());
+        });
+    }
+
+    /// Consumes one raw datapoint and returns its verdict. Fails with
+    /// [`DetectorError::DimensionMismatch`] when the datapoint's width does
+    /// not match the model.
+    pub fn push(&mut self, datapoint: &[f64]) -> Result<OnlineVerdict, DetectorError> {
+        if datapoint.len() != self.dims {
+            return Err(DetectorError::DimensionMismatch {
+                expected: self.dims,
+                got: datapoint.len(),
+            });
+        }
+        let started = self.rec.enabled().then(Instant::now);
         // Normalize with the *training* normalizer (Eq. 1: ranges known
         // a-priori), then append to history.
         let row = TimeSeries::from_rows(datapoint.to_vec(), 1, self.dims);
@@ -97,7 +135,10 @@ impl<'a> OnlineDetector<'a> {
             .map(|(&s, spot)| spot.step(s))
             .collect();
         let anomalous = dim_labels.iter().any(|&b| b);
-        OnlineVerdict { scores, dim_labels, anomalous }
+        if let Some(started) = started {
+            self.rec.observe("online.push_us", 1e6 * started.elapsed().as_secs_f64());
+        }
+        Ok(OnlineVerdict { scores, dim_labels, anomalous })
     }
 
     /// The last `n` history rows flattened, replication-padded at the front
@@ -134,7 +175,7 @@ mod tests {
             dropout: 0.0,
             ..TranadConfig::default()
         };
-        train(&series, config).0
+        train(&series, config).unwrap().0
     }
 
     #[test]
@@ -147,9 +188,9 @@ mod tests {
         let series = TimeSeries::from_columns(std::slice::from_ref(&col));
         let batch_scores = trained.score_series(&series);
 
-        let mut online = OnlineDetector::new(&trained, PotConfig::default());
+        let mut online = OnlineDetector::new(&trained, PotConfig::default()).unwrap();
         for (t, &v) in col.iter().enumerate() {
-            let verdict = online.push(&[v]);
+            let verdict = online.push(&[v]).unwrap();
             // The online score must equal the batch score at every index
             // where the context window is identical (all of them, since
             // both use the same replication padding).
@@ -165,17 +206,17 @@ mod tests {
     #[test]
     fn online_flags_injected_spike() {
         let trained = trained_model();
-        let mut online = OnlineDetector::new(&trained, PotConfig::default());
+        let mut online = OnlineDetector::new(&trained, PotConfig::default()).unwrap();
         let mut rng = SignalRng::new(13);
         let mut flagged_normal = 0;
         for t in 0..80 {
             let v = (t as f64 / 9.0).sin() + 0.05 * rng.normal();
-            if online.push(&[v]).anomalous {
+            if online.push(&[v]).unwrap().anomalous {
                 flagged_normal += 1;
             }
         }
         assert!(flagged_normal <= 2, "false alarms on normal stream: {flagged_normal}");
-        let verdict = online.push(&[9.0]); // extreme outlier
+        let verdict = online.push(&[9.0]).unwrap(); // extreme outlier
         assert!(verdict.anomalous);
         assert!(verdict.dim_labels[0]);
     }
@@ -183,10 +224,26 @@ mod tests {
     #[test]
     fn push_checks_dimensionality() {
         let trained = trained_model();
-        let mut online = OnlineDetector::new(&trained, PotConfig::default());
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            online.push(&[1.0, 2.0])
-        }));
-        assert!(result.is_err());
+        let mut online = OnlineDetector::new(&trained, PotConfig::default()).unwrap();
+        let err = online.push(&[1.0, 2.0]).unwrap_err();
+        assert_eq!(err, DetectorError::DimensionMismatch { expected: 1, got: 2 });
+    }
+
+    #[test]
+    fn push_latency_recorded() {
+        use tranad_telemetry::{MemorySink, Recorder};
+        let trained = trained_model();
+        let sink = std::sync::Arc::new(MemorySink::new(64));
+        let rec = Recorder::with_sink(sink.clone());
+        let mut online =
+            OnlineDetector::with_recorder(&trained, PotConfig::default(), rec.clone()).unwrap();
+        online.push(&[0.5]).unwrap();
+        online.push(&[0.6]).unwrap();
+        online.flush_telemetry();
+        rec.flush_metrics();
+        assert_eq!(sink.named("online.stream").len(), 1);
+        let snap = rec.snapshot();
+        let h = snap.histogram("online.push_us").expect("latency histogram");
+        assert_eq!(h.count, 2);
     }
 }

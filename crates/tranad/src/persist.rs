@@ -178,7 +178,7 @@ mod tests {
     #[test]
     fn save_load_roundtrip_scores_identically() {
         let (series, config) = toy();
-        let (trained, _) = train(&series, config);
+        let (trained, _) = train(&series, config).unwrap();
         let dir = std::env::temp_dir().join("tranad_persist_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("model.json");
@@ -192,7 +192,7 @@ mod tests {
     #[test]
     fn load_rejects_wrong_version() {
         let (series, config) = toy();
-        let (trained, _) = train(&series, config);
+        let (trained, _) = train(&series, config).unwrap();
         let dir = std::env::temp_dir().join("tranad_persist_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("bad_version.json");

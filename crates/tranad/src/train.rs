@@ -8,6 +8,7 @@
 //! and early stopping tracks validation loss (§4).
 
 use crate::config::TranadConfig;
+use crate::error::DetectorError;
 use crate::model::TranadModel;
 use std::collections::HashSet;
 use std::time::Instant;
@@ -15,6 +16,7 @@ use tranad_data::{train_val_split, Normalizer, TimeSeries, Windows};
 use tranad_nn::maml::{fomaml_step, MamlConfig};
 use tranad_nn::optim::{AdamW, StepLr};
 use tranad_nn::{Ctx, Init, ParamId, ParamStore};
+use tranad_telemetry::Recorder;
 use tranad_tensor::Tensor;
 
 /// A trained TranAD detector: model weights plus the fitted normalizer.
@@ -54,10 +56,32 @@ impl TrainReport {
     }
 }
 
-/// Trains TranAD on a (raw, unnormalized) training series.
-pub fn train(series: &TimeSeries, config: TranadConfig) -> (TrainedTranad, TrainReport) {
-    config.validate();
-    assert!(series.len() > 4, "training series too short");
+/// Trains TranAD on a (raw, unnormalized) training series, tracing to the
+/// process-global recorder (`TRANAD_TRACE`); see [`train_with`] for sink
+/// injection.
+pub fn train(
+    series: &TimeSeries,
+    config: TranadConfig,
+) -> Result<(TrainedTranad, TrainReport), DetectorError> {
+    train_with(series, config, tranad_telemetry::global())
+}
+
+/// Trains TranAD with an explicit telemetry recorder. Emits one
+/// `train.epoch` event per epoch (losses, timings, lr, early-stop state),
+/// a `train.early_stop` event when patience runs out, and pool/buffer
+/// counters at the end of the run. A disabled recorder adds no work.
+pub fn train_with(
+    series: &TimeSeries,
+    config: TranadConfig,
+    rec: &Recorder,
+) -> Result<(TrainedTranad, TrainReport), DetectorError> {
+    config.validate()?;
+    if series.is_empty() {
+        return Err(DetectorError::EmptySeries);
+    }
+    if series.len() <= 4 {
+        return Err(DetectorError::SeriesTooShort { needed: 5, got: series.len() });
+    }
     let normalizer = Normalizer::fit(series);
     let normalized = normalizer.transform(series);
     let (train_part, val_part) = train_val_split(&normalized, 0.8);
@@ -74,7 +98,7 @@ pub fn train(series: &TimeSeries, config: TranadConfig) -> (TrainedTranad, Train
     let train_windows = Windows::new(train_part, config.window);
     let val_windows = Windows::new(val_part, config.window);
 
-    let mut opt = AdamW::new(config.lr);
+    let mut opt = AdamW::new(config.lr).with_recorder(rec.clone());
     let sched = StepLr::new(config.lr, config.lr_step, 0.5);
     let mut rng = tranad_data::SignalRng::new(config.seed ^ 0x5EED);
 
@@ -169,6 +193,7 @@ pub fn train(series: &TimeSeries, config: TranadConfig) -> (TrainedTranad, Train
         }
 
         // Meta-learning on a random batch (Algorithm 1 line 11).
+        let maml_started = Instant::now();
         if config.maml && train_windows.len() > 1 {
             let mb: Vec<usize> = (0..config.batch_size.min(train_windows.len()))
                 .map(|_| rng.index(0, train_windows.len()))
@@ -193,22 +218,43 @@ pub fn train(series: &TimeSeries, config: TranadConfig) -> (TrainedTranad, Train
             });
         }
 
+        let maml_seconds = maml_started.elapsed().as_secs_f64();
+
         // Validation reconstruction loss for early stopping.
         let val_loss = validation_loss(&store, &model, &val_windows, config);
-        report.train_losses.push(epoch_loss / batches.max(1) as f64);
+        let train_loss = epoch_loss / batches.max(1) as f64;
+        if !train_loss.is_finite() || !val_loss.is_finite() {
+            return Err(DetectorError::NonFiniteLoss { epoch });
+        }
+        report.train_losses.push(train_loss);
         report.val_losses.push(val_loss);
         report.epoch_seconds.push(started.elapsed().as_secs_f64());
         report.epochs_run = epoch + 1;
 
-        if val_loss < best_val - 1e-9 {
+        let improved = val_loss < best_val - 1e-9;
+        if improved {
             best_val = val_loss;
             best_snapshot = store.snapshot();
             stale = 0;
         } else {
             stale += 1;
-            if stale >= config.patience {
-                break;
-            }
+        }
+        rec.emit("train.epoch", |e| {
+            e.u64("epoch", epoch as u64)
+                .f64("train_loss", train_loss)
+                .f64("val_loss", val_loss)
+                .f64("seconds", started.elapsed().as_secs_f64())
+                .f64("maml_seconds", maml_seconds)
+                .f64("lr", opt.lr)
+                .f64("recon_weight", w_recon)
+                .bool("improved", improved)
+                .u64("stale", stale as u64);
+        });
+        if !improved && stale >= config.patience {
+            rec.emit("train.early_stop", |e| {
+                e.u64("epoch", epoch as u64).f64("best_val", best_val).u64("patience", config.patience as u64);
+            });
+            break;
         }
     }
     store.restore(&best_snapshot);
@@ -221,10 +267,14 @@ pub fn train(series: &TimeSeries, config: TranadConfig) -> (TrainedTranad, Train
         normalizer,
     };
     let train_scores = trained.score_normalized(&normalized);
-    (
-        TrainedTranad { train_scores, ..trained },
-        report,
-    )
+    rec.emit("train.done", |e| {
+        e.u64("epochs_run", report.epochs_run as u64)
+            .f64("best_val", best_val)
+            .f64("seconds_per_epoch", report.seconds_per_epoch());
+    });
+    tranad_tensor::bufpool::record_stats(rec);
+    tranad_tensor::pool::record_counters(rec);
+    Ok((TrainedTranad { train_scores, ..trained }, report))
 }
 
 fn validation_loss(
@@ -340,7 +390,7 @@ mod tests {
     #[test]
     fn training_reduces_loss() {
         let series = toy_series(400, 2, 1);
-        let (_trained, report) = train(&series, tiny_config());
+        let (_trained, report) = train(&series, tiny_config()).unwrap();
         assert!(report.epochs_run >= 2);
         let first = report.train_losses[0];
         let last = *report.train_losses.last().unwrap();
@@ -351,7 +401,7 @@ mod tests {
     #[test]
     fn train_scores_cover_series() {
         let series = toy_series(300, 2, 2);
-        let (trained, _) = train(&series, tiny_config());
+        let (trained, _) = train(&series, tiny_config()).unwrap();
         assert_eq!(trained.train_scores.len(), series.len());
         assert_eq!(trained.train_scores[0].len(), 2);
         assert!(trained
@@ -364,7 +414,7 @@ mod tests {
     #[test]
     fn scores_spike_on_corrupted_points() {
         let series = toy_series(400, 1, 3);
-        let (trained, _) = train(&series, tiny_config());
+        let (trained, _) = train(&series, tiny_config()).unwrap();
         // Corrupt a copy of the training series far outside the data range.
         let mut test = series.clone();
         for t in 200..204 {
@@ -383,8 +433,8 @@ mod tests {
     fn deterministic_training() {
         let series = toy_series(200, 1, 4);
         let cfg = TranadConfig { epochs: 2, ..tiny_config() };
-        let (a, _) = train(&series, cfg);
-        let (b, _) = train(&series, cfg);
+        let (a, _) = train(&series, cfg).unwrap();
+        let (b, _) = train(&series, cfg).unwrap();
         assert_eq!(a.train_scores, b.train_scores);
     }
 
@@ -405,7 +455,7 @@ mod tests {
                 epochs: 2,
                 ..tiny_config()
             };
-            let (trained, report) = train(&series, cfg);
+            let (trained, report) = train(&series, cfg).unwrap();
             assert!(report.epochs_run >= 1);
             assert!(trained.train_scores.iter().flatten().all(|v| v.is_finite()));
         }

@@ -3,10 +3,14 @@
 //! bitwise between a fully serial run (`with_threads(1)`) and a run capped
 //! at 8 threads — chunk boundaries depend only on problem sizes, every task
 //! writes disjoint output, and no reduction crosses task boundaries, so the
-//! two runs must agree exactly on any machine.
+//! two runs must agree exactly on any machine. Telemetry must not perturb
+//! this: a live JSONL sink attached to the run leaves every number bitwise
+//! identical to the untraced run.
 
-use tranad::{train, PotConfig, TranadConfig};
+use std::sync::Arc;
+use tranad::{train, train_with, PotConfig, TranadConfig};
 use tranad_data::{SignalRng, TimeSeries};
+use tranad_telemetry::{JsonlSink, Recorder};
 use tranad_tensor::pool;
 
 fn toy_series(len: usize, dims: usize, seed: u64) -> TimeSeries {
@@ -40,14 +44,14 @@ fn training_and_detection_identical_across_thread_counts() {
     let config = fast_config();
 
     let (serial_losses, serial_scores, serial_thresholds) = pool::with_threads(1, || {
-        let (trained, report) = train(&series, config);
-        let det = trained.detect(&test, PotConfig::default());
+        let (trained, report) = train(&series, config).unwrap();
+        let det = trained.detect(&test, PotConfig::default()).unwrap();
         (report.train_losses, det.scores, det.thresholds)
     });
 
     let (par_losses, par_scores, par_thresholds) = pool::with_threads(8, || {
-        let (trained, report) = train(&series, config);
-        let det = trained.detect(&test, PotConfig::default());
+        let (trained, report) = train(&series, config).unwrap();
+        let det = trained.detect(&test, PotConfig::default()).unwrap();
         (report.train_losses, det.scores, det.thresholds)
     });
 
@@ -62,9 +66,53 @@ fn training_and_detection_identical_across_thread_counts() {
 fn scoring_identical_across_thread_counts() {
     let series = toy_series(260, 2, 31);
     let config = fast_config();
-    let (trained, _) = pool::with_threads(1, || train(&series, config));
+    let (trained, _) = pool::with_threads(1, || train(&series, config).unwrap());
 
     let serial = pool::with_threads(1, || trained.score_series(&series));
     let parallel = pool::with_threads(8, || trained.score_series(&series));
     assert_eq!(serial, parallel);
+}
+
+#[test]
+fn live_jsonl_sink_preserves_determinism() {
+    let series = toy_series(240, 2, 41);
+    let test = toy_series(100, 2, 42);
+    let config = fast_config();
+
+    let run = |threads: usize, rec: Recorder| {
+        pool::with_threads(threads, || {
+            let (trained, report) = train_with(&series, config, &rec).unwrap();
+            let det = trained.detect_with(&test, PotConfig::default(), &rec).unwrap();
+            (report.train_losses, det.scores, det.thresholds)
+        })
+    };
+
+    // Untraced serial run is the reference.
+    let reference = run(1, Recorder::disabled());
+
+    // Traced runs at 1 and 8 threads: numbers must stay bitwise identical
+    // AND both traces must be valid JSONL.
+    let dir = std::env::temp_dir().join("tranad_determinism_trace");
+    std::fs::create_dir_all(&dir).unwrap();
+    for threads in [1usize, 8] {
+        let path = dir.join(format!("trace_t{threads}.jsonl"));
+        let rec = Recorder::with_sink(Arc::new(JsonlSink::create(&path).unwrap()));
+        let traced = run(threads, rec.clone());
+        assert_eq!(traced, reference, "telemetry perturbed results at {threads} threads");
+        rec.flush_metrics();
+        rec.flush();
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut epochs = 0;
+        for line in text.lines() {
+            let v = tranad_json::parse(line)
+                .unwrap_or_else(|e| panic!("bad trace line {line:?}: {e:?}"));
+            let name = v.get("event").and_then(|n| n.as_str()).expect("event name");
+            if name == "train.epoch" {
+                epochs += 1;
+            }
+        }
+        assert_eq!(epochs, 2, "expected one train.epoch line per epoch");
+        std::fs::remove_file(&path).ok();
+    }
 }

@@ -20,12 +20,12 @@ fn main() {
     );
     let truth = ds.point_labels();
     let pot = PotConfig::with_low_quantile(0.01);
-    let base = TranadConfig { epochs: 6, ..TranadConfig::default() };
+    let base = TranadConfig::builder().epochs(6).build().expect("valid config");
 
     for ablation in [Ablation::Full, Ablation::NoMaml] {
         let config = ablation.apply(base);
-        let (detector, report) = train(&subset, config);
-        let detection = detector.detect(&ds.test, pot);
+        let (detector, report) = train(&subset, config).expect("training");
+        let detection = detector.detect(&ds.test, pot).expect("detection");
         let m = evaluate(&detection.aggregate, &detection.labels, &truth);
         println!(
             "{:>24}: F1* {:.3} / AUC* {:.3}  ({} epochs, {:.2}s/epoch)",

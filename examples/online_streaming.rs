@@ -22,10 +22,8 @@ fn main() {
         train_rows.len(),
         2,
     );
-    let (trained, report) = train(
-        &series,
-        TranadConfig { epochs: 4, ..TranadConfig::default() },
-    );
+    let config = TranadConfig::builder().epochs(4).build().expect("valid config");
+    let (trained, report) = train(&series, config).expect("training");
     println!(
         "trained in {:.2}s/epoch; saving model ...",
         report.seconds_per_epoch()
@@ -35,7 +33,8 @@ fn main() {
 
     // Online phase: a fresh process would load the model and stream.
     let loaded = TrainedTranad::load(&path).expect("load model");
-    let mut detector = OnlineDetector::new(&loaded, PotConfig::default());
+    let mut detector =
+        OnlineDetector::new(&loaded, PotConfig::default()).expect("POT calibration");
 
     let mut alarms = 0;
     for t in 600..900 {
@@ -44,7 +43,7 @@ fn main() {
         if t >= 800 {
             point[1] = 3.0;
         }
-        let verdict = detector.push(&point);
+        let verdict = detector.push(&point).expect("streaming point");
         if verdict.anomalous {
             alarms += 1;
             if alarms <= 3 {

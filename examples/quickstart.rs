@@ -17,14 +17,16 @@ fn main() {
     let col_b: Vec<f64> = col_a.iter().map(|&v| 0.5 * v + 0.04 * rng.normal()).collect();
     let train_series = TimeSeries::from_columns(&[col_a, col_b]);
 
-    // 2. Train TranAD (paper defaults, shortened for the example).
-    let config = TranadConfig { epochs: 5, ..TranadConfig::default() };
+    // 2. Train TranAD (paper defaults, shortened for the example). The
+    //    builder validates every field, so a typo'd config fails here
+    //    instead of deep inside training.
+    let config = TranadConfig::builder().epochs(5).build().expect("valid config");
     println!(
         "training TranAD on {} timestamps x {} dims ...",
         train_series.len(),
         train_series.dims()
     );
-    let (detector, report) = train(&train_series, config);
+    let (detector, report) = train(&train_series, config).expect("training");
     println!(
         "trained {} epochs, {:.2}s/epoch, final val loss {:.6}",
         report.epochs_run,
@@ -42,7 +44,7 @@ fn main() {
     }
 
     // 4. Detect (Algorithm 2: two-phase inference + POT thresholds).
-    let detection = detector.detect(&test, PotConfig::default());
+    let detection = detector.detect(&test, PotConfig::default()).expect("detection");
     let metrics = evaluate(&detection.aggregate, &detection.labels, &truth);
     println!(
         "detection: precision {:.3}, recall {:.3}, F1 {:.3}, AUC {:.3}",

@@ -23,8 +23,8 @@ fn main() {
         ds.labels.anomaly_rate() * 100.0
     );
 
-    let config = TranadConfig { epochs: 5, ..TranadConfig::default() };
-    let (detector, report) = train(&ds.train, config);
+    let config = TranadConfig::builder().epochs(5).build().expect("valid config");
+    let (detector, report) = train(&ds.train, config).expect("training");
     println!(
         "trained in {:.2}s/epoch over {} epochs",
         report.seconds_per_epoch(),
@@ -33,7 +33,7 @@ fn main() {
 
     // Detection with the paper's POT settings for SMD.
     let pot = PotConfig::with_low_quantile(0.01);
-    let detection = detector.detect(&ds.test, pot);
+    let detection = detector.detect(&ds.test, pot).expect("detection");
     let truth = ds.point_labels();
     let metrics = evaluate(&detection.aggregate, &detection.labels, &truth);
     println!(

@@ -11,6 +11,7 @@ use tranad_data::{generate, DatasetKind, GenConfig};
 use tranad_evt::PotConfig;
 use tranad_metrics::evaluate;
 use tranad_baselines::aggregate_scores;
+use tranad_telemetry::Recorder;
 
 fn main() {
     let gen = GenConfig { scale: 0.001, min_len: 700, seed: 33 };
@@ -26,18 +27,21 @@ fn main() {
     let pot = PotConfig::with_low_quantile(0.01);
 
     let mut detectors: Vec<Box<dyn Detector>> = vec![
-        Box::new(TranadDetector::new(tranad::TranadConfig {
-            epochs: 4,
-            ..tranad::TranadConfig::default()
-        })),
-        Box::new(Usad::new(NeuralConfig { epochs: 4, ..NeuralConfig::default() })),
+        Box::new(TranadDetector::new(
+            tranad::TranadConfig::builder().epochs(4).build().expect("valid config"),
+        )),
+        Box::new(Usad::new(
+            NeuralConfig::builder().epochs(4).build().expect("valid config"),
+        )),
     ];
 
     for det in detectors.iter_mut() {
-        let fit = det.fit(&ds.train);
-        let scores = det.score(&ds.test);
-        let labels = detect_from_scores(det.train_scores(), &scores, pot).labels;
-        let m = evaluate(&aggregate_scores(&scores), &labels, &truth);
+        let fit = det.fit(&ds.train, &Recorder::disabled()).expect("training");
+        let scores = det.score(&ds.test).expect("scoring");
+        let labels = detect_from_scores(det.train_scores().expect("fitted"), &scores, pot)
+            .expect("POT calibration")
+            .labels;
+        let m = evaluate(&aggregate_scores(&scores).expect("well-formed scores"), &labels, &truth);
         println!(
             "{:>8}: P {:.3} / R {:.3} / F1 {:.3} / AUC {:.3}  ({:.2}s/epoch)",
             det.name(),

@@ -20,7 +20,12 @@ echo "==> determinism across thread counts (TRANAD_THREADS=1 vs 8)"
 TRANAD_THREADS=1 cargo test --release -q -p tranad --test determinism
 TRANAD_THREADS=8 cargo test --release -q -p tranad --test determinism
 
-echo "==> allocations per training step (count-alloc)"
+echo "==> trace smoke-run (TRANAD_TRACE JSONL well-formedness)"
+TRACE_TMP="$(mktemp /tmp/tranad_trace.XXXXXX.jsonl)"
+TRANAD_TRACE="$TRACE_TMP" cargo run --release -q -p tranad-bench --bin trace-smoke
+rm -f "$TRACE_TMP"
+
+echo "==> allocations per training step (count-alloc; gates disabled-telemetry overhead)"
 cargo run --release -q -p tranad-bench --features count-alloc --bin bench-alloc
 
 echo "==> verify OK"

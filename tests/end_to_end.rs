@@ -24,9 +24,9 @@ fn small_gen(seed: u64) -> GenConfig {
 #[test]
 fn tranad_detects_on_nab_like_data() {
     let ds = generate(DatasetKind::Nab, small_gen(1));
-    let (detector, report) = train(&ds.train, test_config());
+    let (detector, report) = train(&ds.train, test_config()).unwrap();
     assert!(report.epochs_run >= 2);
-    let detection = detector.detect(&ds.test, PotConfig::with_low_quantile(0.02));
+    let detection = detector.detect(&ds.test, PotConfig::with_low_quantile(0.02)).unwrap();
     let truth = ds.point_labels();
     let m = evaluate(&detection.aggregate, &detection.labels, &truth);
     assert!(m.auc > 0.75, "AUC too low: {}", m.auc);
@@ -36,8 +36,8 @@ fn tranad_detects_on_nab_like_data() {
 #[test]
 fn tranad_beats_random_scorer_on_msds() {
     let ds = generate(DatasetKind::Msds, small_gen(2));
-    let (detector, _) = train(&ds.train, test_config());
-    let detection = detector.detect(&ds.test, PotConfig::with_low_quantile(0.01));
+    let (detector, _) = train(&ds.train, test_config()).unwrap();
+    let detection = detector.detect(&ds.test, PotConfig::with_low_quantile(0.01)).unwrap();
     let truth = ds.point_labels();
     let model_auc = roc_auc(&detection.aggregate, &truth);
     let mut rng = SignalRng::new(3);
@@ -66,8 +66,8 @@ fn diagnosis_localizes_injected_dimension() {
         let v = test.get(t, 2);
         test.set(t, 2, v + 2.5);
     }
-    let (detector, _) = train(&train_series, test_config());
-    let detection = detector.detect(&test, PotConfig::default());
+    let (detector, _) = train(&train_series, test_config()).unwrap();
+    let detection = detector.detect(&test, PotConfig::default()).unwrap();
     // The anomalous dimension must dominate the per-dimension scores.
     let mut dim_totals = vec![0.0; 4];
     for t in 350..365 {
@@ -100,8 +100,8 @@ fn ablations_degrade_or_match_the_full_model() {
     let mut scores = Vec::new();
     for ablation in Ablation::all() {
         let config = ablation.apply(test_config());
-        let (detector, _) = train(&ds.train, config);
-        let detection = detector.detect(&ds.test, PotConfig::with_low_quantile(0.01));
+        let (detector, _) = train(&ds.train, config).unwrap();
+        let detection = detector.detect(&ds.test, PotConfig::with_low_quantile(0.01)).unwrap();
         let m = evaluate(&detection.aggregate, &detection.labels, &truth);
         scores.push((ablation.name(), m.f1));
     }
@@ -118,9 +118,10 @@ fn ablations_degrade_or_match_the_full_model() {
 fn detection_is_deterministic_across_runs() {
     let ds = generate(DatasetKind::Ucr, small_gen(6));
     let run = || {
-        let (detector, _) = train(&ds.train, test_config());
+        let (detector, _) = train(&ds.train, test_config()).unwrap();
         detector
             .detect(&ds.test, PotConfig::default())
+            .unwrap()
             .aggregate
     };
     assert_eq!(run(), run());
