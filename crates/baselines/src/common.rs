@@ -166,10 +166,12 @@ pub fn epoch_loop(
     rec: &Recorder,
     mut step: impl FnMut(&mut ParamStore, &Tensor, usize) -> f64,
 ) -> Result<FitReport, DetectorError> {
+    let _scope = rec.span_scope();
     let mut rng = SignalRng::new(config.seed ^ 0xBA5E);
     let mut order: Vec<usize> = (0..windows.len()).collect();
     let mut secs = 0.0;
     for epoch in 0..config.epochs {
+        let _epoch_span = tranad_telemetry::span::enter("baseline.epoch");
         // Shuffle before starting the clock: seconds_per_epoch reports
         // training time (Table 5), not batch-order bookkeeping.
         for i in (1..order.len()).rev() {

@@ -38,9 +38,7 @@ fn main() {
     };
     assert!(rec.enabled(), "{} is set but the recorder is disabled", tranad_telemetry::TRACE_ENV);
     let text = std::fs::read_to_string(&path).expect("read trace file");
-    let mut events = 0usize;
-    let mut epochs = 0usize;
-    let mut pot_dims = 0usize;
+    let mut seen = std::collections::BTreeMap::<String, usize>::new();
     for (lineno, line) in text.lines().enumerate() {
         let v = tranad_json::parse(line)
             .unwrap_or_else(|e| panic!("trace line {} is malformed: {e:?}", lineno + 1));
@@ -48,14 +46,42 @@ fn main() {
             .get("event")
             .and_then(|e| e.as_str())
             .unwrap_or_else(|| panic!("trace line {} lacks an event name", lineno + 1));
-        events += 1;
-        match name {
-            "train.epoch" => epochs += 1,
-            "pot.dim" => pot_dims += 1,
-            _ => {}
-        }
+        *seen.entry(name.to_string()).or_insert(0) += 1;
     }
+
+    // Every event family the train+detect pipeline must produce. A missing
+    // family means instrumentation silently fell out of a code path, so the
+    // smoke test names exactly what disappeared and fails the build.
+    const EXPECTED: &[&str] = &[
+        "train.epoch",
+        "train.done",
+        "detect.score",
+        "pot.dim",
+        "span",
+        "pool.buffers",
+        "pool.threads",
+        "metric.counter",
+        "metric.histogram",
+    ];
+    let missing: Vec<&str> = EXPECTED
+        .iter()
+        .filter(|name| !seen.contains_key(**name))
+        .copied()
+        .collect();
+    if !missing.is_empty() {
+        eprintln!("trace at {path} is missing expected event families:");
+        for name in &missing {
+            eprintln!("  - {name}");
+        }
+        eprintln!("families present: {:?}", seen.keys().collect::<Vec<_>>());
+        std::process::exit(1);
+    }
+    let epochs = seen.get("train.epoch").copied().unwrap_or(0);
     assert_eq!(epochs, 2, "expected one train.epoch event per epoch");
-    assert!(pot_dims >= 1, "expected at least one pot.dim event");
-    println!("trace OK: {events} well-formed events ({epochs} epochs, {pot_dims} POT dims) in {path}");
+    let events: usize = seen.values().sum();
+    let spans = seen.get("span").copied().unwrap_or(0);
+    println!(
+        "trace OK: {events} well-formed events across {} families ({spans} spans) in {path}",
+        seen.len()
+    );
 }

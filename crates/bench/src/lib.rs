@@ -15,6 +15,7 @@ pub mod methods;
 pub mod results;
 pub mod runner;
 pub mod tables;
+pub mod trace_report;
 
 pub use methods::Method;
 pub use runner::{evaluate_method, HarnessConfig, RunResult};

@@ -86,6 +86,8 @@ impl Pot {
     /// and final thresholds, peak count, GPD fit details or the fallback
     /// flag) and counts tail-fit fallbacks on `pot.tail_fit_fallbacks`.
     pub fn fit_with(scores: &[f64], config: PotConfig, rec: &Recorder) -> Result<Pot, PotError> {
+        let _scope = rec.span_scope();
+        let _s = tranad_telemetry::span::enter("pot.fit");
         config.check()?;
         if scores.is_empty() {
             return Err(PotError::EmptyCalibration);

@@ -71,6 +71,9 @@ impl Spot {
     }
 
     fn refit(&mut self) {
+        // No recorder parameter here: the streaming hot path inherits
+        // whatever span recorder the enclosing entry point installed.
+        let _s = tranad_telemetry::span::enter("spot.refit");
         self.peaks_since_fit = 0;
         self.refits += 1;
         if self.peaks.len() < 4 {

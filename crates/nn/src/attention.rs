@@ -81,6 +81,7 @@ impl MultiHeadAttention {
         value: &Var,
         mask: Option<&Var>,
     ) -> Var {
+        let _s = tranad_telemetry::span::enter("nn.attention");
         let q = self.wq.forward(ctx, query);
         let k = self.wk.forward(ctx, key);
         let v = self.wv.forward(ctx, value);

@@ -37,16 +37,19 @@ pub fn fomaml_step(
     config: MamlConfig,
     mut loss_grads: impl FnMut(&ParamStore) -> Vec<(ParamId, Tensor)>,
 ) {
+    let _s = tranad_telemetry::span::enter("maml.step");
     let theta = store.snapshot();
 
     // Inner adaptation: θ' = θ - α ∇L(θ)
-    let inner_grads = loss_grads(store);
-    Sgd::new(config.inner_lr).step(store, &inner_grads);
+    {
+        let _inner = tranad_telemetry::span::enter("maml.inner");
+        let inner_grads = loss_grads(store);
+        Sgd::new(config.inner_lr).step(store, &inner_grads);
+    }
 
-    // Meta gradient evaluated at θ'.
+    // Meta gradient evaluated at θ', then restore θ and apply it with β.
+    let _meta = tranad_telemetry::span::enter("maml.meta");
     let meta_grads = loss_grads(store);
-
-    // Restore θ and apply the meta update with step β.
     store.restore(&theta);
     Sgd::new(config.meta_lr).step(store, &meta_grads);
 }

@@ -57,6 +57,7 @@ impl AdamW {
     /// detaches any live snapshot or tape leaf sharing the storage, so the
     /// result is bitwise identical to the old clone-and-set path.
     pub fn step(&mut self, store: &mut ParamStore, grads: &[(ParamId, Tensor)]) {
+        let _s = tranad_telemetry::span::enter("optim.step");
         self.t += 1;
         if self.rec.enabled() {
             self.rec.observe("optim.grad_norm", grad_norm(grads));
@@ -102,6 +103,7 @@ impl Sgd {
     /// Applies `p -= lr * g` for each pair, in place (copy-on-write protects
     /// any snapshot sharing the storage).
     pub fn step(&self, store: &mut ParamStore, grads: &[(ParamId, Tensor)]) {
+        let _s = tranad_telemetry::span::enter("optim.sgd_step");
         for (id, g) in grads {
             for (pi, gi) in store.get_mut(*id).data_mut().iter_mut().zip(g.data()) {
                 *pi -= self.lr * gi;

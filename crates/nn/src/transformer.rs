@@ -92,6 +92,7 @@ impl EncoderLayer {
     /// Applies the layer to `x` `[b, len, d_model]` with an optional
     /// additive attention mask.
     pub fn forward(&self, ctx: &Ctx, x: &Var, mask: Option<&Var>) -> Var {
+        let _s = tranad_telemetry::span::enter("nn.encoder_layer");
         let attn_out = ctx.dropout(&self.attn.self_attention(ctx, x, mask), self.dropout);
         let h = self.norm1.forward(ctx, &x.add(&attn_out));
         let ff_out = ctx.dropout(&self.ff.forward(ctx, &h), self.dropout);
@@ -149,6 +150,7 @@ impl WindowEncoderLayer {
     /// encoded complete sequence, used as keys and values of the
     /// cross-attention. `causal` is the `[k, k]` additive mask of Eq. 5.
     pub fn forward(&self, ctx: &Ctx, window: &Var, context: &Var, causal: &Var) -> Var {
+        let _s = tranad_telemetry::span::enter("nn.window_encoder_layer");
         let sa = ctx.dropout(
             &self.self_attn.self_attention(ctx, window, Some(causal)),
             self.dropout,

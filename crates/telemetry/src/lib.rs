@@ -14,6 +14,11 @@
 //!   counters ([`Recorder::add`]), last-value gauges ([`Recorder::gauge`])
 //!   and log2-bucketed histograms ([`Recorder::observe`]). They are emitted
 //!   as summary events by [`Recorder::flush_metrics`].
+//! - **Spans** ([`span`]) are hierarchical timed regions with static
+//!   names, kept on an implicit thread-local stack by RAII guards and
+//!   emitted as `"span"` complete-events. Entry points install their
+//!   recorder with [`Recorder::span_scope`]; instrumentation in between
+//!   calls [`span::enter`] with no recorder parameter.
 //!
 //! ## Sinks
 //!
@@ -46,14 +51,23 @@ mod event;
 mod metrics;
 mod recorder;
 mod sink;
+pub mod span;
 
 pub use event::{Event, EventBuilder, Value};
 pub use metrics::{Histogram, MetricSnapshot};
 pub use recorder::{global, Recorder};
 pub use sink::{EventSink, JsonlSink, MemorySink, NullSink};
+pub use span::{SpanGuard, SpanScope};
 
 /// Name of the environment variable that activates the global JSONL trace.
 pub const TRACE_ENV: &str = "TRANAD_TRACE";
+
+/// Setting this environment variable to `1` (alongside `TRANAD_TRACE`)
+/// swaps the global recorder's clock for a deterministic counter: every
+/// timestamp read advances one microsecond. Trace timings stop meaning
+/// wall time and start meaning "event sequence", which is exactly what
+/// golden-trace tests want.
+pub const FAKETIME_ENV: &str = "TRANAD_TRACE_FAKETIME";
 
 #[cfg(test)]
 mod tests {
@@ -191,6 +205,179 @@ mod tests {
         assert_eq!(parsed.get("x").unwrap().as_f64(), Some(3.5));
         assert_eq!(parsed.get("n").unwrap().as_f64(), Some(42.0));
         assert_eq!(parsed.get("s").unwrap().as_str(), Some("hi"));
+    }
+
+    #[test]
+    fn histogram_drops_non_finite_instead_of_poisoning_aggregates() {
+        let mut h = Histogram::default();
+        h.record(2.0);
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        h.record(f64::NEG_INFINITY);
+        h.record(4.0);
+        assert_eq!(h.count, 2, "non-finite samples must not count");
+        assert_eq!(h.dropped, 3);
+        assert_eq!(h.sum, 6.0);
+        assert_eq!(h.mean(), 3.0, "one NaN must not poison the mean forever");
+        assert_eq!(h.min, 2.0);
+        assert_eq!(h.max, 4.0);
+        assert_eq!(h.buckets[0], 0, "dropped samples must not land in bucket 0");
+        // Finite negatives still aggregate (bucket 0 is for them).
+        h.record(-5.0);
+        assert_eq!(h.buckets[0], 1);
+        assert_eq!(h.min, -5.0);
+    }
+
+    #[test]
+    fn histogram_dropped_count_flushes_when_present() {
+        let sink = Arc::new(MemorySink::new(8));
+        let rec = Recorder::with_sink(sink.clone());
+        rec.observe("lat", 1.0);
+        rec.observe("lat", f64::NAN);
+        rec.flush_metrics();
+        let hist = &sink.named("metric.histogram")[0];
+        assert_eq!(hist.get_u64("count"), Some(1));
+        assert_eq!(hist.get_u64("dropped"), Some(1));
+        assert_eq!(hist.get_f64("mean"), Some(1.0));
+    }
+
+    #[test]
+    fn histogram_quantiles_track_log2_buckets() {
+        let mut h = Histogram::default();
+        assert!(h.quantile(0.5).is_nan());
+        for _ in 0..98 {
+            h.record(1.5); // bucket 32, upper edge 2
+        }
+        h.record(100.0); // bucket 38
+        h.record(1000.0); // bucket 41
+        assert_eq!(h.quantile(0.0), 1.5, "q=0 clamps to min");
+        assert_eq!(h.quantile(0.5), 2.0, "median is bucket 32's upper edge");
+        assert_eq!(h.quantile(0.99), 128.0, "p99 lands in the 100.0 bucket");
+        assert_eq!(h.quantile(1.0), 1000.0, "q=1 clamps to max");
+        // A single observation: every quantile is that value.
+        let mut one = Histogram::default();
+        one.record(3.0);
+        assert_eq!(one.quantile(0.5), 3.0);
+    }
+
+    #[test]
+    fn memory_sink_zero_cap_clamps_to_one_and_wraps() {
+        let sink = Arc::new(MemorySink::new(0));
+        let rec = Recorder::with_sink(sink.clone());
+        rec.emit("first", |_| {});
+        assert_eq!(sink.len(), 1, "cap 0 must clamp to 1, not retain nothing");
+        rec.emit("second", |_| {});
+        rec.emit("third", |_| {});
+        let events = sink.events();
+        assert_eq!(events.len(), 1, "ring must never exceed the clamped cap");
+        assert_eq!(events[0].name, "third", "oldest events must be evicted");
+    }
+
+    #[test]
+    fn memory_sink_ring_wraps_many_times() {
+        let sink = Arc::new(MemorySink::new(3));
+        let rec = Recorder::with_sink(sink.clone());
+        for i in 0..10 {
+            rec.emit("e", |e| {
+                e.u64("i", i);
+            });
+        }
+        let events = sink.events();
+        assert_eq!(events.len(), 3);
+        let kept: Vec<u64> = events.iter().map(|e| e.get_u64("i").unwrap()).collect();
+        assert_eq!(kept, vec![7, 8, 9], "ring must keep exactly the newest events in order");
+    }
+
+    #[test]
+    fn spans_nest_and_record_parents() {
+        let sink = Arc::new(MemorySink::new(16));
+        let rec = Recorder::with_sink_faketime(sink.clone());
+        {
+            let _scope = rec.span_scope();
+            let _outer = span::enter("outer");
+            {
+                let _inner = span::enter("inner");
+            }
+            let _sibling = span::enter("sibling");
+        }
+        let spans = sink.named("span");
+        assert_eq!(spans.len(), 3);
+        // Drop order: inner closes first, then sibling, then outer.
+        let inner = &spans[0];
+        let sibling = &spans[1];
+        let outer = &spans[2];
+        assert_eq!(inner.get_str("name"), Some("inner"));
+        assert_eq!(outer.get_str("name"), Some("outer"));
+        assert_eq!(outer.get_u64("parent"), Some(0), "outer is a root span");
+        assert_eq!(outer.get_u64("depth"), Some(0));
+        assert_eq!(inner.get_u64("parent"), outer.get_u64("id"));
+        assert_eq!(inner.get_u64("depth"), Some(1));
+        assert_eq!(sibling.get_u64("parent"), outer.get_u64("id"));
+        assert!(inner.get_f64("dur_us").unwrap() > 0.0, "faketime still orders start < end");
+    }
+
+    #[test]
+    fn spans_without_installed_recorder_are_inert() {
+        let g = span::enter("nothing");
+        assert!(!g.is_recording());
+        drop(g);
+        // A disabled recorder's scope also records nothing.
+        let rec = Recorder::disabled();
+        let _scope = rec.span_scope();
+        assert!(!span::active());
+        assert!(!span::enter("still.nothing").is_recording());
+    }
+
+    #[test]
+    fn span_scope_restores_previous_recorder() {
+        let sink_a = Arc::new(MemorySink::new(8));
+        let sink_b = Arc::new(MemorySink::new(8));
+        let rec_a = Recorder::with_sink(sink_a.clone());
+        let rec_b = Recorder::with_sink(sink_b.clone());
+        let _outer = rec_a.span_scope();
+        {
+            let _inner = rec_b.span_scope();
+            drop(span::enter("to.b"));
+        }
+        drop(span::enter("to.a"));
+        assert_eq!(sink_b.named("span").len(), 1);
+        assert_eq!(sink_a.named("span").len(), 1);
+        assert_eq!(sink_a.named("span")[0].get_str("name"), Some("to.a"));
+    }
+
+    #[test]
+    fn suppressed_spans_emit_nothing() {
+        let sink = Arc::new(MemorySink::new(8));
+        let rec = Recorder::with_sink(sink.clone());
+        let _scope = rec.span_scope();
+        let out = span::suppressed(|| {
+            assert!(!span::active());
+            drop(span::enter("silent"));
+            span::suppressed(|| drop(span::enter("nested.silent")));
+            7
+        });
+        assert_eq!(out, 7);
+        assert!(span::active(), "suppression must end with the closure");
+        assert!(sink.named("span").is_empty());
+    }
+
+    #[test]
+    fn faketime_clock_is_deterministic() {
+        let run = || {
+            let sink = Arc::new(MemorySink::new(16));
+            let rec = Recorder::with_sink_faketime(sink.clone());
+            let _scope = rec.span_scope();
+            drop(span::enter("a"));
+            rec.emit("plain", |_| {});
+            drop(span::enter("b"));
+            sink.events()
+                .iter()
+                .map(|e| (e.name, e.time_s, e.get_f64("dur_us")))
+                .collect::<Vec<_>>()
+        };
+        let first = run();
+        assert_eq!(first, run(), "fake clocks must make identical runs byte-identical");
+        assert!(first.windows(2).all(|w| w[0].1 < w[1].1), "fake time is strictly monotonic");
     }
 
     #[test]

@@ -27,11 +27,22 @@ pub struct Histogram {
     pub min: f64,
     /// Largest observed value.
     pub max: f64,
+    /// Non-finite observations rejected by [`Histogram::record`]. A single
+    /// NaN or infinity must not poison `sum`/`mean` for the rest of the
+    /// run, so they are counted here instead of aggregated.
+    pub dropped: u64,
 }
 
 impl Default for Histogram {
     fn default() -> Self {
-        Histogram { buckets: [0; BUCKETS], count: 0, sum: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Histogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            dropped: 0,
+        }
     }
 }
 
@@ -45,8 +56,15 @@ impl Histogram {
         (v.log2().floor() as i32 + BUCKET_BIAS).clamp(0, BUCKETS as i32 - 1) as usize
     }
 
-    /// Records one observation.
+    /// Records one observation. Non-finite values (NaN, ±inf) are counted
+    /// in [`Histogram::dropped`] and otherwise ignored: folding them into
+    /// `sum`/`min`/`max` would make `mean()` NaN forever after a single
+    /// bad sample.
     pub fn record(&mut self, v: f64) {
+        if !v.is_finite() {
+            self.dropped += 1;
+            return;
+        }
         self.buckets[Self::bucket_for(v)] += 1;
         self.count += 1;
         self.sum += v;
@@ -61,6 +79,37 @@ impl Histogram {
     /// Arithmetic mean of observations (NaN when empty).
     pub fn mean(&self) -> f64 {
         self.sum / self.count as f64
+    }
+
+    /// Quantile estimate from the log2 buckets (NaN when empty).
+    ///
+    /// Walks the cumulative bucket counts until `q * count` observations
+    /// are covered and returns that bucket's upper edge, clamped to the
+    /// observed `[min, max]` range — so the estimate is never coarser than
+    /// one power of two and exact at the extremes (`q=0` → min, `q=1` →
+    /// max up to bucket resolution). Bucket 0 (non-positive underflow)
+    /// reports `min`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return f64::NAN;
+        }
+        let q = q.clamp(0.0, 1.0);
+        if q == 0.0 {
+            return self.min;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            cum += n;
+            if cum >= target {
+                if i == 0 {
+                    return self.min;
+                }
+                let upper = 2f64.powi(i as i32 - BUCKET_BIAS + 1);
+                return upper.clamp(self.min, self.max);
+            }
+        }
+        self.max
     }
 }
 

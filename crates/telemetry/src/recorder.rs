@@ -1,5 +1,6 @@
 //! The [`Recorder`] handle and the process-global recorder.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
@@ -7,9 +8,31 @@ use crate::event::EventBuilder;
 use crate::metrics::{Metric, MetricSnapshot};
 use crate::sink::{EventSink, JsonlSink};
 
+/// Event timestamp source. The fake variant stamps a monotonic counter
+/// (one microsecond per read) instead of wall time, so golden-trace tests
+/// can assert exact output. Selected by [`Recorder::with_sink_faketime`]
+/// or the `TRANAD_TRACE_FAKETIME` environment variable.
+enum Clock {
+    Real(Instant),
+    Fake(AtomicU64),
+}
+
+impl Clock {
+    fn now_s(&self) -> f64 {
+        match self {
+            Clock::Real(start) => start.elapsed().as_secs_f64(),
+            Clock::Fake(ticks) => ticks.fetch_add(1, Ordering::Relaxed) as f64 * 1e-6,
+        }
+    }
+}
+
 struct Inner {
     sink: Arc<dyn EventSink>,
-    start: Instant,
+    clock: Clock,
+    /// Monotonic span-id sequence (per recorder, so parallel tests with
+    /// their own recorders stay deterministic). Id 0 is reserved for "no
+    /// parent" — the first span gets id 1.
+    span_seq: AtomicU64,
     metrics: Mutex<MetricSnapshot>,
 }
 
@@ -37,13 +60,28 @@ impl Recorder {
     /// Like [`Recorder::new`] but shares an existing sink handle, so the
     /// caller can keep inspecting it (e.g. a `MemorySink` in a test).
     pub fn with_sink(sink: Arc<dyn EventSink>) -> Self {
+        Self::build(sink, false)
+    }
+
+    /// Like [`Recorder::with_sink`] but with the deterministic fake clock:
+    /// every timestamp read advances a counter by one microsecond instead
+    /// of consulting `Instant`. Meant for golden-trace tests that assert
+    /// exact output; runs stamped this way are reproducible bit for bit.
+    pub fn with_sink_faketime(sink: Arc<dyn EventSink>) -> Self {
+        Self::build(sink, true)
+    }
+
+    fn build(sink: Arc<dyn EventSink>, faketime: bool) -> Self {
         if sink.is_noop() {
             return Self::disabled();
         }
+        let clock =
+            if faketime { Clock::Fake(AtomicU64::new(0)) } else { Clock::Real(Instant::now()) };
         Recorder {
             inner: Some(Arc::new(Inner {
                 sink,
-                start: Instant::now(),
+                clock,
+                span_seq: AtomicU64::new(0),
                 metrics: Mutex::new(MetricSnapshot::default()),
             })),
         }
@@ -51,11 +89,15 @@ impl Recorder {
 
     /// Builds the recorder the `TRANAD_TRACE` environment variable asks
     /// for: a JSONL recorder writing to that path, or disabled when the
-    /// variable is unset/empty (or the file cannot be created).
+    /// variable is unset/empty (or the file cannot be created). Setting
+    /// `TRANAD_TRACE_FAKETIME=1` swaps in the deterministic clock.
     pub fn from_env() -> Self {
         match std::env::var(crate::TRACE_ENV) {
             Ok(path) if !path.is_empty() => match JsonlSink::create(&path) {
-                Ok(sink) => Self::new(sink),
+                Ok(sink) => {
+                    let fake = std::env::var(crate::FAKETIME_ENV).is_ok_and(|v| v == "1");
+                    Self::build(Arc::new(sink), fake)
+                }
                 Err(_) => Self::disabled(),
             },
             _ => Self::disabled(),
@@ -68,6 +110,27 @@ impl Recorder {
         self.inner.is_some()
     }
 
+    /// Installs this recorder as the current thread's span recorder for
+    /// the returned scope's lifetime (see [`crate::span`]). Entry points
+    /// that take a `&Recorder` call this once at the top so every
+    /// [`crate::span::enter`] below them reports here. A disabled
+    /// recorder installs "no spans", which is the correct ownership
+    /// semantics: the entry point's recorder decides, not an outer one.
+    pub fn span_scope(&self) -> crate::span::SpanScope {
+        crate::span::install(self)
+    }
+
+    /// Seconds since recorder start on this recorder's clock (0.0 when
+    /// disabled). Fake clocks tick one microsecond per read.
+    pub(crate) fn now_s(&self) -> f64 {
+        self.inner.as_ref().map_or(0.0, |i| i.clock.now_s())
+    }
+
+    /// Next span id (1-based; 0 means "no parent"). 0 when disabled.
+    pub(crate) fn next_span_id(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.span_seq.fetch_add(1, Ordering::Relaxed) + 1)
+    }
+
     /// Records one event. The closure receives an [`EventBuilder`] to fill
     /// in fields; it is **only called when the recorder is enabled**, so
     /// callers may compute expensive fields inside it for free on the
@@ -75,7 +138,7 @@ impl Recorder {
     #[inline]
     pub fn emit(&self, name: &'static str, fill: impl FnOnce(&mut EventBuilder)) {
         let Some(inner) = &self.inner else { return };
-        let mut b = EventBuilder::new(name, inner.start.elapsed().as_secs_f64());
+        let mut b = EventBuilder::new(name, inner.clock.now_s());
         fill(&mut b);
         inner.sink.record(b.finish());
     }
@@ -117,7 +180,7 @@ impl Recorder {
         let Some(inner) = &self.inner else { return };
         let snap = inner.metrics.lock().unwrap().clone();
         for (name, metric) in &snap.metrics {
-            let t = inner.start.elapsed().as_secs_f64();
+            let t = inner.clock.now_s();
             let b = match metric {
                 Metric::Counter(c) => {
                     let mut b = EventBuilder::new("metric.counter", t);
@@ -137,6 +200,9 @@ impl Recorder {
                         .f64("min", h.min)
                         .f64("max", h.max)
                         .f64("mean", h.mean());
+                    if h.dropped > 0 {
+                        b.u64("dropped", h.dropped);
+                    }
                     // Only non-empty buckets, as "b<index>" fields.
                     for (i, &n) in h.buckets.iter().enumerate() {
                         if n > 0 {

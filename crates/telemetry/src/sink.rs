@@ -91,10 +91,11 @@ impl EventSink for MemorySink {
 }
 
 /// Writes one JSON object per line through `tranad-json`. Each line is
-/// flushed as it is written: events are low-rate (per epoch, per POT fit,
-/// per bench cell — never per window), and the process-global recorder is
-/// a static that never drops, so buffering would silently lose the tail
-/// of every `TRANAD_TRACE` run that forgets to flush.
+/// flushed as it is written: the process-global recorder is a static that
+/// never drops, so buffering would silently lose the tail of every
+/// `TRANAD_TRACE` run that forgets to flush. The cost is one small write
+/// syscall per event — acceptable even at span rates (per tape-op),
+/// because tracing is an opt-in diagnostic mode, never the default path.
 pub struct JsonlSink {
     writer: Mutex<BufWriter<File>>,
 }

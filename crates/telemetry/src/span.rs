@@ -1,0 +1,152 @@
+//! Hierarchical spans: RAII guards over an implicit thread-local stack.
+//!
+//! A span is one timed region with a static name. Nesting is implicit:
+//! [`enter`] reads the current `(span id, depth)` from a thread-local
+//! cell, stamps the new span's parent from it, and the returned
+//! [`SpanGuard`] restores it on drop — so the "stack" is the Rust scope
+//! structure itself, with no `Vec`, no allocation, and no bookkeeping
+//! beyond one `Cell` swap per span.
+//!
+//! ## Wiring
+//!
+//! Spans report to the *installed* recorder of the current thread, set by
+//! [`Recorder::span_scope`] at library entry points (training, detection,
+//! POT calibration, the bench runner). Code in between — tape ops, the
+//! optimizer, attention — calls [`enter`] without threading a `&Recorder`
+//! through every signature. With no recorder installed (or a disabled one),
+//! [`enter`] is two thread-local reads and a branch: zero allocation, zero
+//! events, which is what keeps the bench-alloc 486 allocs/step gate green.
+//!
+//! ## Determinism under the thread pool
+//!
+//! Only the thread that installed a scope emits spans: pool workers never
+//! install one, and the submitting thread wraps inline task execution in
+//! [`suppressed`]. Every span is therefore emitted serially from the
+//! orchestrating thread, in an order fixed by program structure — a trace
+//! taken at `TRANAD_THREADS=8` contains the same spans as one taken at 1
+//! thread, preserving the pool's bitwise-determinism guarantee (asserted
+//! in `crates/tranad/tests/determinism.rs`).
+//!
+//! ## Event shape
+//!
+//! Each completed span is one `"span"` event: `name`, `id` (1-based,
+//! per-recorder), `parent` (0 for roots), `depth`, `start` (seconds on the
+//! recorder clock) and `dur_us`. Complete-events (rather than begin/end
+//! pairs) halve trace volume and make every line self-contained for
+//! `trace-report`.
+
+use std::cell::{Cell, RefCell};
+
+use crate::recorder::Recorder;
+
+thread_local! {
+    /// The recorder spans on this thread report to, installed by
+    /// [`SpanScope`]. `None` (the default) means spans are no-ops.
+    static SPAN_RECORDER: RefCell<Option<Recorder>> = const { RefCell::new(None) };
+    /// Head of the implicit span stack: (current span id, depth).
+    /// `(0, 0)` means "at the root".
+    static CURRENT: Cell<(u64, u32)> = const { Cell::new((0, 0)) };
+    /// Non-zero while span emission is suppressed (inside pool tasks).
+    static SUPPRESS: Cell<u32> = const { Cell::new(0) };
+}
+
+/// Installs `rec` as the current thread's span recorder; [`SpanScope`]
+/// restores the previous one. Prefer [`Recorder::span_scope`].
+pub fn install(rec: &Recorder) -> SpanScope {
+    let new = if rec.enabled() { Some(rec.clone()) } else { None };
+    let prev = SPAN_RECORDER.with(|r| r.replace(new));
+    SpanScope { prev }
+}
+
+/// RAII handle for an installed span recorder (see [`install`]). Restores
+/// the previously installed recorder when dropped, so entry points nest
+/// correctly (e.g. the bench runner installing its recorder around a
+/// training call that installs the same one again).
+pub struct SpanScope {
+    prev: Option<Recorder>,
+}
+
+impl Drop for SpanScope {
+    fn drop(&mut self) {
+        let prev = self.prev.take();
+        SPAN_RECORDER.with(|r| *r.borrow_mut() = prev);
+    }
+}
+
+/// `true` when a span entered right now would actually be recorded. Lets
+/// callers skip work that only feeds span fields (e.g. gauge reads).
+pub fn active() -> bool {
+    SUPPRESS.with(|s| s.get()) == 0 && SPAN_RECORDER.with(|r| r.borrow().is_some())
+}
+
+/// Opens a span named `name`. The returned guard emits one `"span"` event
+/// when dropped; nested [`enter`] calls in between become its children.
+/// With no recorder installed — or inside [`suppressed`] — this is a
+/// branch and returns an inert guard.
+pub fn enter(name: &'static str) -> SpanGuard {
+    if SUPPRESS.with(|s| s.get()) != 0 {
+        return SpanGuard { live: None };
+    }
+    let Some(rec) = SPAN_RECORDER.with(|r| r.borrow().clone()) else {
+        return SpanGuard { live: None };
+    };
+    let (parent, depth) = CURRENT.with(|c| c.get());
+    let id = rec.next_span_id();
+    CURRENT.with(|c| c.set((id, depth + 1)));
+    let start_s = rec.now_s();
+    SpanGuard { live: Some(LiveSpan { rec, name, id, parent, depth, start_s }) }
+}
+
+/// Runs `f` with span emission suppressed on this thread. Used by the
+/// thread pool around inline task execution: per-task spans would differ
+/// between serial and parallel schedules (and race on emission), so tasks
+/// run silent and the submitting thread reports one span per region.
+pub fn suppressed<R>(f: impl FnOnce() -> R) -> R {
+    struct Undo;
+    impl Drop for Undo {
+        fn drop(&mut self) {
+            SUPPRESS.with(|s| s.set(s.get() - 1));
+        }
+    }
+    SUPPRESS.with(|s| s.set(s.get() + 1));
+    let _undo = Undo;
+    f()
+}
+
+struct LiveSpan {
+    rec: Recorder,
+    name: &'static str,
+    id: u64,
+    parent: u64,
+    depth: u32,
+    start_s: f64,
+}
+
+/// RAII span handle from [`enter`]. Dropping it closes the span: the
+/// thread's stack head is restored and one complete-event is emitted.
+pub struct SpanGuard {
+    live: Option<LiveSpan>,
+}
+
+impl SpanGuard {
+    /// `true` when this guard will emit an event on drop.
+    pub fn is_recording(&self) -> bool {
+        self.live.is_some()
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(live) = self.live.take() else { return };
+        CURRENT.with(|c| c.set((live.parent, live.depth)));
+        let dur_us = (live.rec.now_s() - live.start_s) * 1e6;
+        live.rec.emit("span", |e| {
+            e.str("name", live.name)
+                .u64("id", live.id)
+                .u64("parent", live.parent)
+                .u64("depth", live.depth as u64)
+                .f64("start", live.start_s)
+                .f64("dur_us", dur_us);
+        });
+    }
+}

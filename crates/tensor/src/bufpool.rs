@@ -54,6 +54,13 @@ pub struct PoolStats {
     pub dropped: u64,
     /// Bytes of storage parked for reuse (capacity, not length).
     pub bytes_recycled: u64,
+    /// Bytes of pool-served storage currently checked out (taken and not
+    /// yet returned). Buffers created outside [`take`] are invisible to
+    /// this, so it is a lower bound; arithmetic saturates at zero.
+    pub live_bytes: u64,
+    /// High watermark of [`PoolStats::live_bytes`] since the last
+    /// [`reset_stats`] — the step's peak working set as seen by the pool.
+    pub hwm_bytes: u64,
 }
 
 struct Pool {
@@ -97,7 +104,7 @@ pub fn take(n: usize) -> Arc<Vec<f64>> {
     let class = class_for(n);
     let mut arc = POOL.with(|p| {
         let mut p = p.borrow_mut();
-        match p.classes.get_mut(class).filter(|_| enabled()).and_then(Vec::pop) {
+        let arc = match p.classes.get_mut(class).filter(|_| enabled()).and_then(Vec::pop) {
             Some(a) => {
                 p.stats.hits += 1;
                 a
@@ -106,7 +113,12 @@ pub fn take(n: usize) -> Arc<Vec<f64>> {
                 p.stats.misses += 1;
                 Arc::new(Vec::with_capacity(1usize << class))
             }
+        };
+        p.stats.live_bytes += (arc.capacity() * std::mem::size_of::<f64>()) as u64;
+        if p.stats.live_bytes > p.stats.hwm_bytes {
+            p.stats.hwm_bytes = p.stats.live_bytes;
         }
+        arc
     });
     let v = Arc::get_mut(&mut arc).expect("pooled buffer is uniquely owned");
     if v.len() < n {
@@ -136,9 +148,11 @@ pub fn recycle(arc: Arc<Vec<f64>>) {
     let class = cap.ilog2() as usize;
     POOL.with(|p| {
         let mut p = p.borrow_mut();
+        let bytes = (cap * std::mem::size_of::<f64>()) as u64;
+        p.stats.live_bytes = p.stats.live_bytes.saturating_sub(bytes);
         if enabled() && class < CLASSES && p.classes[class].len() < PER_CLASS {
             p.stats.recycled += 1;
-            p.stats.bytes_recycled += (cap * std::mem::size_of::<f64>()) as u64;
+            p.stats.bytes_recycled += bytes;
             p.classes[class].push(arc);
         } else {
             p.stats.dropped += 1;
@@ -156,6 +170,13 @@ pub fn reset_stats() {
     POOL.with(|p| p.borrow_mut().stats = PoolStats::default());
 }
 
+/// This thread's peak checked-out pool storage in bytes since the last
+/// [`reset_stats`] (see [`PoolStats::hwm_bytes`]). Cheap enough to read
+/// per step for a memory gauge.
+pub fn high_watermark_bytes() -> u64 {
+    POOL.with(|p| p.borrow().stats.hwm_bytes)
+}
+
 /// Emits this thread's buffer-pool counters as a `pool.buffers` event on
 /// `rec` (no-op when the recorder is disabled).
 pub fn record_stats(rec: &tranad_telemetry::Recorder) {
@@ -168,7 +189,9 @@ pub fn record_stats(rec: &tranad_telemetry::Recorder) {
             .u64("misses", s.misses)
             .u64("recycled", s.recycled)
             .u64("dropped", s.dropped)
-            .u64("bytes_recycled", s.bytes_recycled);
+            .u64("bytes_recycled", s.bytes_recycled)
+            .u64("live_bytes", s.live_bytes)
+            .u64("hwm_bytes", s.hwm_bytes);
     });
 }
 
@@ -231,6 +254,26 @@ mod tests {
         // Only a same-or-larger class buffer may be reused; whatever came
         // back, every element beyond previously written data must be 0.
         assert!(b[4..].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn high_watermark_tracks_peak_live_bytes() {
+        clear();
+        reset_stats();
+        let a = take(100); // class 7 -> 128 elements
+        let b = take(100);
+        let peak = stats().live_bytes;
+        assert!(peak >= 2 * 128 * 8, "two checked-out buffers must both count");
+        recycle(a);
+        recycle(b);
+        let s = stats();
+        assert_eq!(s.live_bytes, 0, "returning every buffer empties the live set");
+        assert_eq!(s.hwm_bytes, peak, "watermark keeps the peak after frees");
+        assert_eq!(high_watermark_bytes(), peak);
+        // A smaller single take must not move the watermark.
+        let c = take(10);
+        assert_eq!(high_watermark_bytes(), peak);
+        recycle(c);
     }
 
     #[test]

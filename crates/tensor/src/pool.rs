@@ -261,11 +261,19 @@ pub fn run(n: usize, task: &(dyn Fn(usize) + Sync)) {
     if n == 0 {
         return;
     }
+    // One `pool.run` span per region, opened on the submitting thread and
+    // emitted serially on both schedules. Task bodies run span-suppressed:
+    // per-task spans would differ between the serial and parallel paths
+    // (and, on workers, race on emission), breaking the guarantee that a
+    // TRANAD_THREADS=1 trace equals a TRANAD_THREADS=8 trace.
+    let _span = tranad_telemetry::span::enter("pool.run");
     if n == 1 || current_threads() <= 1 {
         SERIAL_TASKS.fetch_add(n as u64, Ordering::Relaxed);
-        for i in 0..n {
-            task(i);
-        }
+        tranad_telemetry::span::suppressed(|| {
+            for i in 0..n {
+                task(i);
+            }
+        });
         return;
     }
     let pool = global();
@@ -287,7 +295,7 @@ pub fn run(n: usize, task: &(dyn Fn(usize) + Sync)) {
     pool.publish(job.clone());
     // Participate; mark this thread as in-pool so nested calls go serial.
     let was_in_pool = IN_POOL.with(|f| f.replace(true));
-    job.work();
+    tranad_telemetry::span::suppressed(|| job.work());
     IN_POOL.with(|f| f.set(was_in_pool));
     job.wait();
     pool.retire();

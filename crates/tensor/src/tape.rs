@@ -51,6 +51,23 @@ enum Op {
     MatmulTScale { a: usize, b: usize, scale: f64 },
 }
 
+/// Span name for an op's backward rule, or `None` for ops too cheap to be
+/// worth a trace line (elementwise, reshapes, reductions). The list mirrors
+/// the forward-instrumented ops so `trace-report` can pair `op.*` with
+/// `bwd.*` rows.
+fn backward_span(op: &Op) -> Option<&'static str> {
+    Some(match op {
+        Op::Matmul(..) => "bwd.matmul",
+        Op::SoftmaxLast(..) => "bwd.softmax",
+        Op::LayerNormLast { .. } => "bwd.layer_norm",
+        Op::ConcatLast(..) => "bwd.concat",
+        Op::LinearAct { .. } => "bwd.linear_act",
+        Op::LayerNormAffine { .. } => "bwd.layer_norm_affine",
+        Op::MatmulTScale { .. } => "bwd.matmul_t_scale",
+        _ => return None,
+    })
+}
+
 struct Node {
     value: Tensor,
     grad: Option<Tensor>,
@@ -216,6 +233,7 @@ impl Var {
     /// Matrix product (see [`Tensor::matmul`] for supported rank pairs).
     pub fn matmul(&self, other: &Var) -> Var {
         self.same_tape(other);
+        let _s = tranad_telemetry::span::enter("op.matmul");
         let v = self.value().matmul(&other.value());
         self.tape.push(v, Op::Matmul(self.id, other.id))
     }
@@ -284,6 +302,7 @@ impl Var {
 
     /// Softmax over the last dimension.
     pub fn softmax_last(&self) -> Var {
+        let _s = tranad_telemetry::span::enter("op.softmax");
         let v = self.value().softmax_last();
         self.unary(v, Op::SoftmaxLast(self.id))
     }
@@ -292,6 +311,7 @@ impl Var {
     /// `mul`/`add` for scale and shift, or use the fused
     /// [`Var::layer_norm_affine`]).
     pub fn layer_norm_last(&self, eps: f64) -> Var {
+        let _s = tranad_telemetry::span::enter("op.layer_norm");
         let (normed, inv_std) = self.value().layer_norm_parts(eps);
         self.tape.push(normed, Op::LayerNormLast { x: self.id, inv_std })
     }
@@ -306,6 +326,7 @@ impl Var {
         if let Some(b) = b {
             self.same_tape(b);
         }
+        let _s = tranad_telemetry::span::enter("op.linear_act");
         let v = {
             let inner = self.tape.inner.borrow();
             let bv = b.map(|b| &inner.nodes[b.id].value);
@@ -319,6 +340,7 @@ impl Var {
     pub fn layer_norm_affine(&self, gamma: &Var, beta: &Var, eps: f64) -> Var {
         self.same_tape(gamma);
         self.same_tape(beta);
+        let _s = tranad_telemetry::span::enter("op.layer_norm_affine");
         let (v, normed, inv_std) = {
             let inner = self.tape.inner.borrow();
             let (normed, inv_std) = inner.nodes[self.id].value.layer_norm_parts(eps);
@@ -337,6 +359,7 @@ impl Var {
     /// identical to `self.matmul(&other.transpose()).scale(scale)`.
     pub fn matmul_t_scaled(&self, other: &Var, scale: f64) -> Var {
         self.same_tape(other);
+        let _s = tranad_telemetry::span::enter("op.matmul_t_scale");
         let v = {
             let inner = self.tape.inner.borrow();
             inner.nodes[self.id].value.matmul_nt_scaled(&inner.nodes[other.id].value, scale)
@@ -377,6 +400,7 @@ impl Var {
         for p in parts {
             parts[0].same_tape(p);
         }
+        let _s = tranad_telemetry::span::enter("op.concat");
         let values: Vec<Tensor> = parts.iter().map(|p| p.value()).collect();
         let refs: Vec<&Tensor> = values.iter().collect();
         let v = Tensor::concat_last(&refs);
@@ -399,6 +423,7 @@ impl Var {
     /// Runs reverse-mode differentiation from this node, seeding its gradient
     /// with ones. Gradients accumulate into every reachable node.
     pub fn backward(&self) {
+        let _s = tranad_telemetry::span::enter("tape.backward");
         let seed = Tensor::ones(self.shape());
         self.tape.accumulate(self.id, seed);
         let n = self.tape.len();
@@ -415,6 +440,15 @@ impl Var {
     }
 
     fn propagate(&self, id: usize, g: Tensor) {
+        // Per-op backward spans only for the ops worth attributing (the
+        // same set as the forward `op.*` spans); gated on `active()` so
+        // the untraced hot loop skips the extra tape borrow entirely.
+        let _span = if tranad_telemetry::span::active() {
+            let inner = self.tape.inner.borrow();
+            backward_span(&inner.nodes[id].op).map(tranad_telemetry::span::enter)
+        } else {
+            None
+        };
         // Clone whatever the backward rule needs while holding the borrow,
         // then release it before accumulating into inputs.
         enum Rule {

@@ -52,8 +52,13 @@ impl TrainedTranad {
                 got: test.dims(),
             });
         }
+        let _scope = rec.span_scope();
+        let _span = tranad_telemetry::span::enter("detect.run");
         let started = Instant::now();
-        let scores = self.score_series(test);
+        let scores = {
+            let _s = tranad_telemetry::span::enter("detect.score_windows");
+            self.score_series(test)
+        };
         if rec.enabled() {
             let seconds = started.elapsed().as_secs_f64();
             let us_per_window = 1e6 * seconds / test.len().max(1) as f64;
@@ -99,6 +104,8 @@ pub fn detect_from_scores_with(
         return Err(DetectorError::DimensionMismatch { expected: m, got: bad.len() });
     }
 
+    let _scope = rec.span_scope();
+    let _span = tranad_telemetry::span::enter("pot.calibrate");
     // One streaming SPOT per dimension: initialized on the nominal
     // (training) score distribution, adapting on non-alarm test scores so
     // slow regime drift does not flood the detector with false positives.
@@ -160,6 +167,8 @@ pub fn detect_aggregate_with(
     if test_scores.is_empty() || calibration_scores.is_empty() {
         return Err(DetectorError::EmptySeries);
     }
+    let _scope = rec.span_scope();
+    let _span = tranad_telemetry::span::enter("pot.aggregate_walk");
     let mean = |row: &Vec<f64>| row.iter().sum::<f64>() / row.len().max(1) as f64;
     let calib: Vec<f64> = calibration_scores.iter().map(mean).collect();
     let mut spot =

@@ -96,6 +96,8 @@ impl<'a> OnlineDetector<'a> {
                 got: datapoint.len(),
             });
         }
+        let _scope = self.rec.span_scope();
+        let _span = tranad_telemetry::span::enter("online.push");
         let started = self.rec.enabled().then(Instant::now);
         // Normalize with the *training* normalizer (Eq. 1: ranges known
         // a-priori), then append to history.

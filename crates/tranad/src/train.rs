@@ -82,6 +82,8 @@ pub fn train_with(
     if series.len() <= 4 {
         return Err(DetectorError::SeriesTooShort { needed: 5, got: series.len() });
     }
+    let _scope = rec.span_scope();
+    let _run_span = tranad_telemetry::span::enter("train.run");
     let normalizer = Normalizer::fit(series);
     let normalized = normalizer.transform(series);
     let (train_part, val_part) = train_val_split(&normalized, 0.8);
@@ -114,6 +116,7 @@ pub fn train_with(
 
     let mut order: Vec<usize> = (0..train_windows.len()).collect();
     for epoch in 0..config.epochs {
+        let _epoch_span = tranad_telemetry::span::enter("train.epoch");
         let started = Instant::now();
         sched.apply(&mut opt, epoch as u64);
         shuffle(&mut order, &mut rng);
@@ -123,12 +126,16 @@ pub fn train_with(
         let mut epoch_loss = 0.0;
         let mut batches = 0usize;
         for batch in visited.chunks(config.batch_size) {
-            let w = train_windows.batch(batch);
-            let c = train_windows.context_batch(batch, config.context);
+            let _step_span = tranad_telemetry::span::enter("train.step");
+            let (w, c) = {
+                let _s = tranad_telemetry::span::enter("train.window_batch");
+                (train_windows.batch(batch), train_windows.context_batch(batch, config.context))
+            };
             let step_seed = config.seed ^ ((epoch * 31 + batches) as u64);
 
             // Update 1: encoder + decoder 1 minimize L1.
             let (loss1, grads1) = {
+                let _p1 = tranad_telemetry::span::enter("train.phase1");
                 let ctx = Ctx::train(&store, step_seed);
                 let wv = ctx.input(w.clone());
                 let cv = ctx.input(c.clone());
@@ -142,6 +149,15 @@ pub fn train_with(
                     out.o1.mse(&wv).add(&out.o2.mse(&wv))
                 };
                 loss.backward();
+                if rec.enabled() {
+                    // Memory observability per step: autograd tape length and
+                    // the buffer pool's live-byte high watermark.
+                    rec.gauge("train.tape_len", ctx.tape().len() as f64);
+                    rec.gauge(
+                        "pool.hwm_bytes",
+                        tranad_tensor::bufpool::high_watermark_bytes() as f64,
+                    );
+                }
                 let grads: Vec<(ParamId, Tensor)> = ctx
                     .grads()
                     .into_iter()
@@ -152,6 +168,7 @@ pub fn train_with(
             opt.step(&mut store, &grads1);
 
             // Update 2: decoder 2 minimizes L2 (maximizes ‖Ô₂−W‖).
+            let _p2 = tranad_telemetry::span::enter("train.phase2");
             if config.adversarial {
                 let grads2 = {
                     let ctx = Ctx::train(&store, step_seed ^ 0xD2);
@@ -187,6 +204,7 @@ pub fn train_with(
                 };
                 opt.step(&mut store, &grads2);
             }
+            drop(_p2);
 
             epoch_loss += loss1;
             batches += 1;
@@ -195,6 +213,7 @@ pub fn train_with(
         // Meta-learning on a random batch (Algorithm 1 line 11).
         let maml_started = Instant::now();
         if config.maml && train_windows.len() > 1 {
+            let _maml_span = tranad_telemetry::span::enter("train.maml");
             let mb: Vec<usize> = (0..config.batch_size.min(train_windows.len()))
                 .map(|_| rng.index(0, train_windows.len()))
                 .collect();
@@ -221,7 +240,10 @@ pub fn train_with(
         let maml_seconds = maml_started.elapsed().as_secs_f64();
 
         // Validation reconstruction loss for early stopping.
-        let val_loss = validation_loss(&store, &model, &val_windows, config);
+        let val_loss = {
+            let _s = tranad_telemetry::span::enter("train.validate");
+            validation_loss(&store, &model, &val_windows, config)
+        };
         let train_loss = epoch_loss / batches.max(1) as f64;
         if !train_loss.is_finite() || !val_loss.is_finite() {
             return Err(DetectorError::NonFiniteLoss { epoch });

@@ -94,6 +94,7 @@ fn live_jsonl_sink_preserves_determinism() {
     // AND both traces must be valid JSONL.
     let dir = std::env::temp_dir().join("tranad_determinism_trace");
     std::fs::create_dir_all(&dir).unwrap();
+    let mut span_sequences: Vec<Vec<(String, u64)>> = Vec::new();
     for threads in [1usize, 8] {
         let path = dir.join(format!("trace_t{threads}.jsonl"));
         let rec = Recorder::with_sink(Arc::new(JsonlSink::create(&path).unwrap()));
@@ -104,6 +105,7 @@ fn live_jsonl_sink_preserves_determinism() {
 
         let text = std::fs::read_to_string(&path).unwrap();
         let mut epochs = 0;
+        let mut spans: Vec<(String, u64)> = Vec::new();
         for line in text.lines() {
             let v = tranad_json::parse(line)
                 .unwrap_or_else(|e| panic!("bad trace line {line:?}: {e:?}"));
@@ -111,8 +113,23 @@ fn live_jsonl_sink_preserves_determinism() {
             if name == "train.epoch" {
                 epochs += 1;
             }
+            if name == "span" {
+                spans.push((
+                    v.get("name").and_then(|n| n.as_str()).expect("span name").to_string(),
+                    v.get("depth").and_then(|d| d.as_f64()).expect("span depth") as u64,
+                ));
+            }
         }
         assert_eq!(epochs, 2, "expected one train.epoch line per epoch");
+        assert!(!spans.is_empty(), "traced run emitted no spans");
+        span_sequences.push(spans);
         std::fs::remove_file(&path).ok();
     }
+    // Spans are emitted serially from the orchestrating thread, so the
+    // exact (name, depth) sequence — not just the multiset — must be
+    // independent of the pool size.
+    assert_eq!(
+        span_sequences[0], span_sequences[1],
+        "span sequence differs between 1 and 8 threads"
+    );
 }

@@ -23,7 +23,18 @@ TRANAD_THREADS=8 cargo test --release -q -p tranad --test determinism
 echo "==> trace smoke-run (TRANAD_TRACE JSONL well-formedness)"
 TRACE_TMP="$(mktemp /tmp/tranad_trace.XXXXXX.jsonl)"
 TRANAD_TRACE="$TRACE_TMP" cargo run --release -q -p tranad-bench --bin trace-smoke
-rm -f "$TRACE_TMP"
+
+echo "==> trace-report artifacts + perf-budget gate on the smoke trace"
+REPORT_TMP="$(mktemp -d /tmp/tranad_trace_report.XXXXXX)"
+cargo run --release -q -p tranad-bench --bin trace-report -- "$TRACE_TMP" \
+  --table "$REPORT_TMP/report.txt" \
+  --chrome "$REPORT_TMP/trace.chrome.json" \
+  --flamegraph "$REPORT_TMP/flame.svg" \
+  --check results/perf_budget.json
+test -s "$REPORT_TMP/report.txt"
+test -s "$REPORT_TMP/trace.chrome.json"
+test -s "$REPORT_TMP/flame.svg"
+rm -rf "$REPORT_TMP" "$TRACE_TMP"
 
 echo "==> allocations per training step (count-alloc; gates disabled-telemetry overhead)"
 cargo run --release -q -p tranad-bench --features count-alloc --bin bench-alloc
