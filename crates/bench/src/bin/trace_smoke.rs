@@ -1,7 +1,7 @@
-//! Trace smoke test for CI: runs a tiny train + detect with whatever
-//! recorder `TRANAD_TRACE` configures, then (when the variable is set)
-//! re-reads the trace file and proves every line is well-formed JSONL with
-//! the expected core events.
+//! Trace smoke test for CI: runs a tiny train + detect + serve with
+//! whatever recorder `TRANAD_TRACE` configures, then (when the variable is
+//! set) re-reads the trace file and proves every line is well-formed JSONL
+//! with the expected core events.
 //!
 //! Run with: `TRANAD_TRACE=/tmp/trace.jsonl cargo run --release -p
 //! tranad-bench --bin trace-smoke`. Without `TRANAD_TRACE` it still runs
@@ -23,13 +23,24 @@ fn main() {
         .expect("valid config");
     let (trained, report) = train(&ds.train, config).expect("training");
     let detection = trained.detect(&ds.test, PotConfig::default()).expect("detection");
+
+    // Exercise the serving layer so serve.* events and the serve.batch span
+    // land in the same smoke trace.
+    let mut engine = tranad_serve::Engine::new(trained, tranad_serve::ServeConfig::default())
+        .expect("serve engine");
+    for t in 0..ds.test.len().min(64) {
+        engine.push("smoke", ds.test.row(t)).expect("serve push");
+    }
+    let served = engine.drain().expect("serve drain");
+
     rec.flush_metrics();
     rec.flush();
     println!(
-        "trained {} epochs, {} test points, {} flagged",
+        "trained {} epochs, {} test points, {} flagged, {} served",
         report.epochs_run,
         detection.labels.len(),
-        detection.labels.iter().filter(|&&b| b).count()
+        detection.labels.iter().filter(|&&b| b).count(),
+        served.get("smoke").map_or(0, |v| v.len())
     );
 
     let Ok(path) = std::env::var(tranad_telemetry::TRACE_ENV) else {
@@ -57,6 +68,8 @@ fn main() {
         "train.done",
         "detect.score",
         "pot.dim",
+        "serve.batch",
+        "metric.gauge",
         "span",
         "pool.buffers",
         "pool.threads",

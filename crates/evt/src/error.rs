@@ -12,6 +12,10 @@ pub enum PotError {
     NonFiniteScores,
     /// The configuration is out of range (q or level outside (0,1), ...).
     InvalidConfig(String),
+    /// Checkpointed SPOT state is inconsistent (non-finite thresholds or
+    /// peaks, out-of-range risk, ...), so restoring it would mislabel the
+    /// stream.
+    InvalidParts(String),
 }
 
 impl fmt::Display for PotError {
@@ -20,6 +24,7 @@ impl fmt::Display for PotError {
             PotError::EmptyCalibration => write!(f, "POT needs calibration scores"),
             PotError::NonFiniteScores => write!(f, "calibration scores contain NaN"),
             PotError::InvalidConfig(msg) => write!(f, "invalid POT config: {msg}"),
+            PotError::InvalidParts(msg) => write!(f, "invalid SPOT checkpoint state: {msg}"),
         }
     }
 }

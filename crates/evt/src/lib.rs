@@ -26,6 +26,6 @@ pub use am::{AmConfig, AnnualMaximum};
 pub use error::PotError;
 pub use gpd::{fit_gpd, fit_gpd_detailed, GpdFit, GpdFitInfo};
 pub use ndt::{Ndt, NdtConfig};
-pub use pot::{pot_labels, quantile, Pot, PotConfig};
+pub use pot::{pot_labels, quantile, try_quantile, Pot, PotConfig};
 pub use dspot::Dspot;
-pub use spot::Spot;
+pub use spot::{Spot, SpotParts};

@@ -89,13 +89,7 @@ impl Pot {
         let _scope = rec.span_scope();
         let _s = tranad_telemetry::span::enter("pot.fit");
         config.check()?;
-        if scores.is_empty() {
-            return Err(PotError::EmptyCalibration);
-        }
-        if scores.iter().any(|s| s.is_nan()) {
-            return Err(PotError::NonFiniteScores);
-        }
-        let t = quantile(scores, 1.0 - config.level);
+        let t = try_quantile(scores, 1.0 - config.level)?;
         let peaks: Vec<f64> = scores
             .iter()
             .filter(|&&s| s > t)
@@ -157,20 +151,40 @@ pub fn pot_labels(calibration: &[f64], scores: &[f64], config: PotConfig) -> Vec
 }
 
 /// Empirical quantile (linear interpolation, like NumPy's default).
+///
+/// Panics on invalid input; prefer [`try_quantile`] on paths that must not
+/// abort (calibration data can contain NaN).
 pub fn quantile(values: &[f64], q: f64) -> f64 {
-    assert!(!values.is_empty(), "quantile of empty slice");
-    assert!((0.0..=1.0).contains(&q), "quantile level out of range");
+    match try_quantile(values, q) {
+        Ok(v) => v,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`quantile`]: empty input, NaN values and an out-of-range level
+/// become [`PotError`]s instead of panics, so [`Pot::try_fit`] and
+/// [`crate::Spot::try_init`] propagate malformed calibration data as errors.
+pub fn try_quantile(values: &[f64], q: f64) -> Result<f64, PotError> {
+    if values.is_empty() {
+        return Err(PotError::EmptyCalibration);
+    }
+    if !(0.0..=1.0).contains(&q) {
+        return Err(PotError::InvalidConfig(format!("quantile level out of range: {q}")));
+    }
+    if values.iter().any(|v| v.is_nan()) {
+        return Err(PotError::NonFiniteScores);
+    }
     let mut sorted: Vec<f64> = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in scores"));
+    sorted.sort_by(f64::total_cmp);
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
-    if lo == hi {
+    Ok(if lo == hi {
         sorted[lo]
     } else {
         let frac = pos - lo as f64;
         sorted[lo] * (1.0 - frac) + sorted[hi] * frac
-    }
+    })
 }
 
 #[cfg(test)]
@@ -231,6 +245,27 @@ mod tests {
         let strict = Pot::fit(&scores, PotConfig { q: 1e-5, level: 0.02 }).threshold;
         let loose = Pot::fit(&scores, PotConfig { q: 1e-2, level: 0.02 }).threshold;
         assert!(strict > loose, "{strict} vs {loose}");
+    }
+
+    #[test]
+    fn nan_calibration_is_an_error_not_a_panic() {
+        let mut scores = gaussian_scores(1000, 6);
+        scores[13] = f64::NAN;
+        assert_eq!(try_quantile(&scores, 0.5).unwrap_err(), crate::PotError::NonFiniteScores);
+        assert_eq!(
+            Pot::try_fit(&scores, PotConfig::default()).unwrap_err(),
+            crate::PotError::NonFiniteScores
+        );
+    }
+
+    #[test]
+    fn try_quantile_validates_inputs() {
+        assert_eq!(try_quantile(&[], 0.5).unwrap_err(), crate::PotError::EmptyCalibration);
+        assert!(matches!(
+            try_quantile(&[1.0], 1.5).unwrap_err(),
+            crate::PotError::InvalidConfig(_)
+        ));
+        assert_eq!(try_quantile(&[2.0, 1.0, 3.0], 0.5).unwrap(), 2.0);
     }
 
     #[test]

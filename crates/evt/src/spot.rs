@@ -7,7 +7,43 @@
 
 use crate::error::PotError;
 use crate::gpd::{fit_gpd, pot_quantile};
-use crate::pot::{quantile, PotConfig};
+use crate::pot::{try_quantile, PotConfig};
+
+/// The complete serializable state of a [`Spot`] thresholder.
+///
+/// Produced by [`Spot::to_parts`] and consumed by [`Spot::from_parts`] so a
+/// streaming detector can be checkpointed and resumed with bitwise-identical
+/// behaviour: every field that influences [`Spot::step`] is captured.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpotParts {
+    /// Risk coefficient `q`.
+    pub q: f64,
+    /// Initial (peak-selection) threshold `t` — fixed after init.
+    pub initial_threshold: f64,
+    /// Current anomaly threshold `z_q`.
+    pub threshold: f64,
+    /// Exceedances over `t` currently in the tail model.
+    pub peaks: Vec<f64>,
+    /// Observations consumed so far (calibration + non-alarm stream points).
+    pub n_obs: usize,
+    /// Refit cadence (peaks between GPD refits).
+    pub refit_every: usize,
+    /// Peaks accumulated since the last refit.
+    pub peaks_since_fit: usize,
+    /// Streaming re-calibrations since init (telemetry).
+    pub refits: u64,
+}
+
+tranad_json::impl_json_struct!(SpotParts {
+    q,
+    initial_threshold,
+    threshold,
+    peaks,
+    n_obs,
+    refit_every,
+    peaks_since_fit,
+    refits,
+});
 
 /// A streaming Peaks-Over-Threshold thresholder.
 #[derive(Debug, Clone)]
@@ -42,13 +78,7 @@ impl Spot {
     /// configs become [`PotError`]s instead of panics.
     pub fn try_init(calibration: &[f64], config: PotConfig) -> Result<Spot, PotError> {
         config.check()?;
-        if calibration.is_empty() {
-            return Err(PotError::EmptyCalibration);
-        }
-        if calibration.iter().any(|s| s.is_nan()) {
-            return Err(PotError::NonFiniteScores);
-        }
-        let t = quantile(calibration, 1.0 - config.level);
+        let t = try_quantile(calibration, 1.0 - config.level)?;
         let peaks: Vec<f64> = calibration
             .iter()
             .filter(|&&s| s > t)
@@ -128,6 +158,61 @@ impl Spot {
     pub fn refits(&self) -> u64 {
         self.refits
     }
+
+    /// Captures the full streaming state for checkpointing. The returned
+    /// parts round-trip through [`Spot::from_parts`] into a thresholder
+    /// whose future [`Spot::step`] decisions are bitwise-identical.
+    pub fn to_parts(&self) -> SpotParts {
+        SpotParts {
+            q: self.q,
+            initial_threshold: self.initial_threshold,
+            threshold: self.threshold,
+            peaks: self.peaks.clone(),
+            n_obs: self.n_obs,
+            refit_every: self.refit_every,
+            peaks_since_fit: self.peaks_since_fit,
+            refits: self.refits,
+        }
+    }
+
+    /// Rebuilds a thresholder from checkpointed parts, validating that the
+    /// state could have been produced by a real run (finite thresholds and
+    /// peaks, in-range risk, non-zero refit cadence) so a corrupt checkpoint
+    /// surfaces as an error instead of silently mislabeling the stream.
+    pub fn from_parts(parts: SpotParts) -> Result<Spot, PotError> {
+        if !(parts.q > 0.0 && parts.q < 1.0) {
+            return Err(PotError::InvalidParts(format!("risk q must be in (0,1), got {}", parts.q)));
+        }
+        if !parts.initial_threshold.is_finite() || !parts.threshold.is_finite() {
+            return Err(PotError::InvalidParts(format!(
+                "non-finite thresholds: initial {} / current {}",
+                parts.initial_threshold, parts.threshold
+            )));
+        }
+        if let Some(p) = parts.peaks.iter().find(|p| !p.is_finite()) {
+            return Err(PotError::InvalidParts(format!("non-finite peak {p}")));
+        }
+        if parts.refit_every == 0 {
+            return Err(PotError::InvalidParts("refit_every must be >= 1".to_string()));
+        }
+        if parts.n_obs < parts.peaks.len() {
+            return Err(PotError::InvalidParts(format!(
+                "{} peaks but only {} observations",
+                parts.peaks.len(),
+                parts.n_obs
+            )));
+        }
+        Ok(Spot {
+            q: parts.q,
+            initial_threshold: parts.initial_threshold,
+            threshold: parts.threshold,
+            peaks: parts.peaks,
+            n_obs: parts.n_obs,
+            refit_every: parts.refit_every,
+            peaks_since_fit: parts.peaks_since_fit,
+            refits: parts.refits,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -194,6 +279,71 @@ mod tests {
         }
         assert_eq!(spot.threshold, before, "alarms must not move the threshold");
         assert_eq!(spot.n_peaks(), peaks_before);
+    }
+
+    #[test]
+    fn parts_roundtrip_is_bitwise_identical() {
+        let calib = uniform_scores(3000, 0.0, 1.0, 5);
+        let mut original = Spot::init(&calib, PotConfig { q: 1e-3, level: 0.05 });
+        // Advance the stream a little so the captured state is non-trivial.
+        let warmup = uniform_scores(500, 0.0, 1.1, 6);
+        for &s in &warmup {
+            original.step(s);
+        }
+        let parts = original.to_parts();
+        let mut restored = Spot::from_parts(parts.clone()).unwrap();
+        assert_eq!(restored.threshold.to_bits(), original.threshold.to_bits());
+        assert_eq!(restored.n_peaks(), original.n_peaks());
+        assert_eq!(restored.refits(), original.refits());
+        // Every future decision must match bitwise, including refit updates.
+        let stream = uniform_scores(2000, 0.0, 1.2, 7);
+        for &s in &stream {
+            assert_eq!(original.step(s), restored.step(s));
+            assert_eq!(original.threshold.to_bits(), restored.threshold.to_bits());
+        }
+        // JSON round-trip preserves the parts exactly (shortest-round-trip
+        // float rendering), so persisted checkpoints restore bitwise too.
+        use tranad_json::{FromJson, ToJson};
+        let json = parts.to_json().to_string();
+        let back = SpotParts::from_json(&tranad_json::parse(&json).unwrap()).unwrap();
+        assert_eq!(back, parts);
+    }
+
+    #[test]
+    fn from_parts_rejects_corrupt_state() {
+        let calib = uniform_scores(1000, 0.0, 1.0, 8);
+        let spot = Spot::init(&calib, PotConfig::default());
+        let good = spot.to_parts();
+
+        let mut bad = good.clone();
+        bad.q = 1.5;
+        assert!(matches!(Spot::from_parts(bad), Err(PotError::InvalidParts(_))));
+
+        let mut bad = good.clone();
+        bad.threshold = f64::NAN;
+        assert!(matches!(Spot::from_parts(bad), Err(PotError::InvalidParts(_))));
+
+        let mut bad = good.clone();
+        bad.peaks.push(f64::INFINITY);
+        assert!(matches!(Spot::from_parts(bad), Err(PotError::InvalidParts(_))));
+
+        let mut bad = good.clone();
+        bad.refit_every = 0;
+        assert!(matches!(Spot::from_parts(bad), Err(PotError::InvalidParts(_))));
+
+        let mut bad = good;
+        bad.n_obs = 0;
+        assert!(matches!(Spot::from_parts(bad), Err(PotError::InvalidParts(_))));
+    }
+
+    #[test]
+    fn nan_calibration_is_an_error_not_a_panic() {
+        let mut calib = uniform_scores(1000, 0.0, 1.0, 9);
+        calib[500] = f64::NAN;
+        assert_eq!(
+            Spot::try_init(&calib, PotConfig::default()).unwrap_err(),
+            PotError::NonFiniteScores
+        );
     }
 
     #[test]

@@ -1,0 +1,222 @@
+//! Crash-safe serving smoke test for CI: proves the kill-and-resume
+//! acceptance criterion end to end.
+//!
+//! 1. Trains a tiny 2-dimensional model and saves it (atomic v2 format).
+//! 2. Run A: serves two deterministic streams uninterrupted, recording
+//!    every verdict.
+//! 3. Run B: serves the same streams with periodic checkpointing, is
+//!    "killed" mid-stream (the engine is dropped — state after the last
+//!    checkpoint and all queued points are lost), resumed from the latest
+//!    checkpoint, and fed the remainder of each stream from where the
+//!    resumed engine says it stopped.
+//! 4. Asserts Run B's verdicts are bitwise-identical to Run A's from the
+//!    resume point on, and that resident streaming state stays bounded.
+//!
+//! Run with `TRANAD_THREADS=1` and `=8` (scripts/verify.sh does both): the
+//! engine fans streams across the thread pool, and the verdicts must not
+//! depend on the thread count.
+
+use tranad::{train, OnlineVerdict, TrainedTranad, TranadConfig};
+use tranad_data::TimeSeries;
+use tranad_serve::{Engine, ServeConfig};
+
+const DIMS: usize = 2;
+const STREAMS: [&str; 2] = ["web", "db"];
+const POINTS: usize = 240;
+const KILL_AT: usize = 140;
+
+/// Deterministic pseudo-noise in [-0.5, 0.5): a pure function of the
+/// coordinates, so both runs regenerate exactly the same stream.
+fn jitter(stream: usize, t: usize, d: usize) -> f64 {
+    let x = t as f64 * 12.9898 + stream as f64 * 78.233 + d as f64 * 37.719;
+    (x.sin() * 43758.5453).fract() - 0.5
+}
+
+/// The `t`-th datapoint of a stream. Stream "db" develops a stuck sensor
+/// from t = 180 so the resumed engine must also flag anomalies correctly.
+fn point(stream: usize, t: usize) -> Vec<f64> {
+    let x = t as f64;
+    let mut p = vec![
+        (x / 11.0 + stream as f64).sin() + 0.05 * jitter(stream, t, 0),
+        (x / 7.0).cos() * 0.5 + 0.04 * jitter(stream, t, 1),
+    ];
+    if stream == 1 && t >= 180 {
+        p[1] = 3.0;
+    }
+    p
+}
+
+fn train_and_save(path: &std::path::Path) {
+    let rows: Vec<f64> = (0..500)
+        .flat_map(|t| {
+            vec![
+                (t as f64 / 11.0).sin() + 0.05 * jitter(7, t, 0),
+                (t as f64 / 7.0).cos() * 0.5 + 0.04 * jitter(7, t, 1),
+            ]
+        })
+        .collect();
+    let series = TimeSeries::from_rows(rows, 500, DIMS);
+    let config = TranadConfig::builder()
+        .epochs(2)
+        .window(6)
+        .context(12)
+        .ff_hidden(16)
+        .dropout(0.0)
+        .build()
+        .expect("valid config");
+    let (trained, _) = train(&series, config).expect("training");
+    trained.save(path).expect("save model");
+}
+
+fn serve_config() -> ServeConfig {
+    ServeConfig { max_queue: 512, batch_max: 16, checkpoint_every: 40, ..ServeConfig::default() }
+}
+
+/// Feeds `range` of every stream, running a batch every 16 pushes.
+fn feed(engine: &mut Engine, range: std::ops::Range<usize>) -> Vec<Vec<OnlineVerdict>> {
+    let mut verdicts = vec![Vec::new(); STREAMS.len()];
+    for (i, t) in range.enumerate() {
+        for (s, name) in STREAMS.iter().enumerate() {
+            engine.push(name, &point(s, t)).expect("push");
+        }
+        if i % 16 == 15 {
+            collect(engine.run_batch().expect("batch").verdicts, &mut verdicts);
+        }
+    }
+    let tail = engine.drain().expect("drain");
+    for (name, vs) in tail {
+        let s = STREAMS.iter().position(|n| *n == name).expect("known stream");
+        verdicts[s].extend(vs);
+    }
+    verdicts
+}
+
+fn collect(batch: Vec<tranad_serve::StreamVerdicts>, into: &mut [Vec<OnlineVerdict>]) {
+    for sv in batch {
+        let s = STREAMS.iter().position(|n| *n == sv.stream).expect("known stream");
+        into[s].extend(sv.verdicts);
+    }
+}
+
+fn main() {
+    let pid = std::process::id();
+    let model_path = std::env::temp_dir().join(format!("tranad_serve_smoke_model_{pid}.json"));
+    let ckpt_dir = std::env::temp_dir().join(format!("tranad_serve_smoke_ckpts_{pid}"));
+    std::fs::remove_dir_all(&ckpt_dir).ok();
+
+    println!("==> training + saving the model");
+    train_and_save(&model_path);
+
+    // Run A: uninterrupted reference run.
+    println!("==> run A: uninterrupted serve of {POINTS} points x {} streams", STREAMS.len());
+    let trained_a = TrainedTranad::load(&model_path).expect("load model");
+    let mut engine_a = Engine::new(trained_a, serve_config()).expect("engine A");
+    let reference = feed(&mut engine_a, 0..POINTS);
+    for (s, name) in STREAMS.iter().enumerate() {
+        assert_eq!(reference[s].len(), POINTS, "stream {name}: reference run lost verdicts");
+    }
+    let cap = {
+        let c = engine_a.trained().model.config();
+        c.window.max(c.context)
+    };
+    assert!(
+        engine_a.state_rows() <= STREAMS.len() * cap,
+        "resident state {} rows exceeds the {} bound",
+        engine_a.state_rows(),
+        STREAMS.len() * cap
+    );
+
+    // Run B, phase 1: checkpointing run, killed mid-stream.
+    println!("==> run B: serve with checkpoints, kill at t={KILL_AT}");
+    let trained_b = TrainedTranad::load(&model_path).expect("load model");
+    let mut engine_b =
+        Engine::resume(trained_b, serve_config(), &ckpt_dir).expect("engine B");
+    for t in 0..KILL_AT {
+        for (s, name) in STREAMS.iter().enumerate() {
+            engine_b.push(name, &point(s, t)).expect("push");
+        }
+        if t % 16 == 15 {
+            engine_b.run_batch().expect("batch");
+        }
+    }
+    drop(engine_b); // the "crash": queued points and post-checkpoint state are gone
+
+    // Run B, phase 2: resume from the latest checkpoint and finish.
+    let trained_b2 = TrainedTranad::load(&model_path).expect("load model");
+    let mut resumed =
+        Engine::resume(trained_b2, serve_config(), &ckpt_dir).expect("resume engine");
+    let consumed = STREAMS
+        .map(|name| resumed.stream_seen(name).expect("stream in checkpoint") as usize);
+    println!(
+        "==> resumed from checkpoint: consumed {:?} of {KILL_AT} fed points per stream",
+        consumed
+    );
+    for (s, name) in STREAMS.iter().enumerate() {
+        assert!(consumed[s] > 0, "stream {name}: checkpoint recorded no progress");
+        assert!(consumed[s] <= KILL_AT, "stream {name}: checkpoint is from the future");
+    }
+
+    let mut resumed_verdicts = vec![Vec::new(); STREAMS.len()];
+    for t in consumed[0].min(consumed[1])..POINTS {
+        for (s, name) in STREAMS.iter().enumerate() {
+            if t >= consumed[s] {
+                resumed.push(name, &point(s, t)).expect("push");
+            }
+        }
+        if t % 16 == 15 {
+            collect(resumed.run_batch().expect("batch").verdicts, &mut resumed_verdicts);
+        }
+    }
+    let tail = resumed.drain().expect("drain");
+    for (name, vs) in tail {
+        let s = STREAMS.iter().position(|n| *n == name).expect("known stream");
+        resumed_verdicts[s].extend(vs);
+    }
+
+    // The acceptance criterion: bitwise-identical verdicts from the resume
+    // point on.
+    let mut compared = 0usize;
+    for (s, name) in STREAMS.iter().enumerate() {
+        let expected = &reference[s][consumed[s]..];
+        let got = &resumed_verdicts[s];
+        assert_eq!(
+            expected.len(),
+            got.len(),
+            "stream {name}: resumed run produced {} verdicts, expected {}",
+            got.len(),
+            expected.len()
+        );
+        for (i, (a, b)) in expected.iter().zip(got).enumerate() {
+            let t = consumed[s] + i;
+            assert_eq!(a.dim_labels, b.dim_labels, "stream {name} t={t}: labels diverged");
+            assert_eq!(a.anomalous, b.anomalous, "stream {name} t={t}: verdict diverged");
+            for (d, (x, y)) in a.scores.iter().zip(&b.scores).enumerate() {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "stream {name} t={t} dim {d}: scores diverged ({x} vs {y})"
+                );
+            }
+            compared += 1;
+        }
+    }
+    // The injected fault must be flagged by the *resumed* engine.
+    let fault_alarms = resumed_verdicts[1]
+        .iter()
+        .skip(180usize.saturating_sub(consumed[1]))
+        .filter(|v| v.anomalous)
+        .count();
+    assert!(fault_alarms >= 30, "stuck sensor under-flagged after resume: {fault_alarms}");
+    assert!(
+        resumed.state_rows() <= STREAMS.len() * cap,
+        "resumed resident state exceeds bound"
+    );
+
+    println!(
+        "serve smoke OK: {compared} post-resume verdicts bitwise-identical, \
+         {fault_alarms} fault alarms, state bounded at {} rows",
+        resumed.state_rows()
+    );
+    std::fs::remove_file(&model_path).ok();
+    std::fs::remove_dir_all(&ckpt_dir).ok();
+}

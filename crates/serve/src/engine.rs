@@ -1,0 +1,407 @@
+//! The micro-batching serving engine.
+//!
+//! Producers call [`Engine::push`] (validate + enqueue, never blocking);
+//! a driver loop calls [`Engine::run_batch`], which drains up to
+//! `batch_max` points per stream and scores all streams in parallel over
+//! the `tranad-tensor` pool. Each stream is scored serially inside one
+//! pool task and owns its state exclusively, so results are
+//! bitwise-identical at any `TRANAD_THREADS` — the pool only changes *who*
+//! computes a stream, never *what* is computed. Telemetry from the
+//! parallel region is emitted serially afterwards, keeping live traces
+//! deterministic too.
+
+use crate::checkpoint::{self, ServeCheckpoint, StreamState, CHECKPOINT_VERSION};
+use crate::{ServeConfig, ServeError};
+use std::collections::{BTreeMap, VecDeque};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+use tranad::{DetectorError, OnlineState, OnlineVerdict, TrainedTranad};
+use tranad_telemetry::Recorder;
+use tranad_tensor::pool;
+
+/// The outcome of enqueueing one point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushOutcome {
+    /// Accepted; `depth` is the stream queue's depth after the append.
+    Enqueued {
+        /// Queue depth including this point.
+        depth: usize,
+    },
+    /// The stream's bounded queue is full: the point was dropped (explicit
+    /// load-shedding — the producer sees backpressure instead of blocking,
+    /// and the drop is counted on `serve.shed`).
+    Shed {
+        /// Queue depth at the time of the drop (= `max_queue`).
+        depth: usize,
+    },
+}
+
+/// The verdicts one [`Engine::run_batch`] produced for one stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamVerdicts {
+    /// Stream name.
+    pub stream: String,
+    /// Stream-local sequence number of `verdicts[0]` (0-based count of
+    /// points the stream had consumed before this batch).
+    pub first_seq: u64,
+    /// One verdict per processed point, in arrival order.
+    pub verdicts: Vec<OnlineVerdict>,
+}
+
+/// What one [`Engine::run_batch`] call did.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchReport {
+    /// Points scored across all streams.
+    pub processed: usize,
+    /// Per-stream verdicts (streams with work this batch, in registration
+    /// order).
+    pub verdicts: Vec<StreamVerdicts>,
+    /// Path of the checkpoint written by the automatic policy, if any.
+    pub checkpoint: Option<PathBuf>,
+}
+
+/// One served stream: its bounded input queue and streaming state.
+struct StreamSlot {
+    name: String,
+    state: OnlineState,
+    queue: VecDeque<Vec<f64>>,
+    /// Points drained from `queue` for the in-flight batch.
+    pending: Vec<Vec<f64>>,
+    /// Verdicts produced by the in-flight batch.
+    out: Vec<OnlineVerdict>,
+    /// `state.seen()` when the in-flight batch started.
+    first_seq: u64,
+    /// First scoring error of the in-flight batch, surfaced after the
+    /// parallel region (deterministically, by slot order).
+    error: Option<DetectorError>,
+}
+
+/// A multi-stream, micro-batching, crash-safe serving engine. See the
+/// crate docs for the design.
+pub struct Engine {
+    trained: TrainedTranad,
+    config: ServeConfig,
+    streams: Vec<StreamSlot>,
+    /// Stream name → slot index. BTreeMap so checkpoints list streams in a
+    /// deterministic (sorted) order.
+    index: BTreeMap<String, usize>,
+    dims: usize,
+    /// Lifetime points scored (survives resume via the checkpoint).
+    processed: u64,
+    /// Lifetime points shed (survives resume via the checkpoint).
+    shed: u64,
+    /// Points processed since the last checkpoint.
+    since_ckpt: u64,
+    ckpt_dir: Option<PathBuf>,
+    ckpt_seq: u64,
+    rec: Recorder,
+}
+
+impl Engine {
+    /// Creates an engine with no checkpoint directory (in-memory only).
+    /// Traces to the process-global recorder.
+    pub fn new(trained: TrainedTranad, config: ServeConfig) -> Result<Engine, ServeError> {
+        Self::with_recorder(trained, config, tranad_telemetry::global().clone())
+    }
+
+    /// [`Engine::new`] with an explicit recorder.
+    pub fn with_recorder(
+        trained: TrainedTranad,
+        config: ServeConfig,
+        rec: Recorder,
+    ) -> Result<Engine, ServeError> {
+        config.check()?;
+        let dims = trained.model.dims();
+        Ok(Engine {
+            trained,
+            config,
+            streams: Vec::new(),
+            index: BTreeMap::new(),
+            dims,
+            processed: 0,
+            shed: 0,
+            since_ckpt: 0,
+            ckpt_dir: None,
+            ckpt_seq: 0,
+            rec,
+        })
+    }
+
+    /// Creates an engine that checkpoints into `dir` and, if `dir` already
+    /// holds a checkpoint, resumes every stream from the newest readable
+    /// one — the resumed engine's future verdicts are bitwise-identical to
+    /// an uninterrupted run's. Traces to the process-global recorder.
+    pub fn resume(
+        trained: TrainedTranad,
+        config: ServeConfig,
+        dir: impl AsRef<Path>,
+    ) -> Result<Engine, ServeError> {
+        Self::resume_with_recorder(trained, config, dir, tranad_telemetry::global().clone())
+    }
+
+    /// [`Engine::resume`] with an explicit recorder.
+    pub fn resume_with_recorder(
+        trained: TrainedTranad,
+        config: ServeConfig,
+        dir: impl AsRef<Path>,
+        rec: Recorder,
+    ) -> Result<Engine, ServeError> {
+        let dir = dir.as_ref().to_path_buf();
+        let loaded = checkpoint::latest(&dir, &rec)?;
+        let mut engine = Self::with_recorder(trained, config, rec)?;
+        engine.ckpt_dir = Some(dir);
+        if let Some(ck) = loaded {
+            for entry in &ck.streams {
+                if engine.index.contains_key(&entry.name) {
+                    return Err(ServeError::Persist(tranad::PersistError::Corrupt(format!(
+                        "checkpoint lists stream {:?} twice",
+                        entry.name
+                    ))));
+                }
+                let state = OnlineState::restore(&engine.trained, &entry.snapshot)?;
+                engine.register(entry.name.clone(), state);
+            }
+            engine.processed = ck.processed;
+            engine.shed = ck.shed;
+            engine.ckpt_seq = ck.seq;
+            engine.rec.emit("serve.resume", |e| {
+                e.u64("seq", ck.seq)
+                    .u64("streams", ck.streams.len() as u64)
+                    .u64("processed", ck.processed);
+            });
+        }
+        Ok(engine)
+    }
+
+    /// Validates and enqueues one raw datapoint for `stream`, creating the
+    /// stream on first sight. Never blocks: when the stream's bounded
+    /// queue is full the point is shed and the caller is told. Malformed
+    /// input (wrong width, NaN/±Inf) is rejected up front with an error —
+    /// it never reaches the queue, so it can never poison stream state.
+    pub fn push(&mut self, stream: &str, point: &[f64]) -> Result<PushOutcome, ServeError> {
+        let started = self.rec.enabled().then(Instant::now);
+        if point.len() != self.dims {
+            return Err(DetectorError::DimensionMismatch {
+                expected: self.dims,
+                got: point.len(),
+            }
+            .into());
+        }
+        if let Some(dim) = point.iter().position(|v| !v.is_finite()) {
+            return Err(DetectorError::NonFiniteInput { dim }.into());
+        }
+        let max_queue = self.config.max_queue;
+        let i = self.ensure_stream(stream)?;
+        let slot = &mut self.streams[i];
+        let outcome = if slot.queue.len() >= max_queue {
+            self.shed += 1;
+            self.rec.add("serve.shed", 1);
+            PushOutcome::Shed { depth: slot.queue.len() }
+        } else {
+            slot.queue.push_back(point.to_vec());
+            PushOutcome::Enqueued { depth: slot.queue.len() }
+        };
+        if let Some(started) = started {
+            self.rec.observe("serve.push_us", 1e6 * started.elapsed().as_secs_f64());
+        }
+        Ok(outcome)
+    }
+
+    /// Drains up to `batch_max` queued points per stream and scores all
+    /// streams in parallel over the `tranad-tensor` pool. Returns the
+    /// verdicts plus what the automatic checkpoint policy did. Verdict
+    /// values are independent of the thread count.
+    pub fn run_batch(&mut self) -> Result<BatchReport, ServeError> {
+        let _scope = self.rec.span_scope();
+        let _span = tranad_telemetry::span::enter("serve.batch");
+        let batch_max = self.config.batch_max;
+        for slot in &mut self.streams {
+            let take = slot.queue.len().min(batch_max);
+            slot.first_seq = slot.state.seen();
+            slot.out.clear();
+            slot.error = None;
+            slot.pending.clear();
+            slot.pending.extend(slot.queue.drain(..take));
+        }
+
+        // Parallel fan-out: one pool task per stream; each task mutates
+        // only its own slot and reads the shared model. Workers run
+        // span-suppressed (see pool::run), so the trace stays identical
+        // across thread counts.
+        let trained = &self.trained;
+        pool::parallel_chunks_mut(&mut self.streams, 1, |_, chunk| {
+            for slot in chunk.iter_mut() {
+                for point in slot.pending.drain(..) {
+                    match slot.state.push(trained, &point) {
+                        Ok(v) => slot.out.push(v),
+                        Err(e) => {
+                            slot.error = Some(e);
+                            break;
+                        }
+                    }
+                }
+            }
+        });
+
+        // Surface the first failure deterministically (slot order). Inputs
+        // are validated at push time, so this only fires on internal bugs.
+        if let Some(slot) = self.streams.iter_mut().find(|s| s.error.is_some()) {
+            return Err(slot.error.take().expect("just matched").into());
+        }
+
+        let mut verdicts = Vec::new();
+        let mut processed = 0usize;
+        for slot in &mut self.streams {
+            if slot.out.is_empty() {
+                continue;
+            }
+            processed += slot.out.len();
+            verdicts.push(StreamVerdicts {
+                stream: slot.name.clone(),
+                first_seq: slot.first_seq,
+                verdicts: std::mem::take(&mut slot.out),
+            });
+        }
+        self.processed += processed as u64;
+        self.since_ckpt += processed as u64;
+
+        // Telemetry, serially, after the parallel region.
+        if self.rec.enabled() {
+            let max_depth = self.streams.iter().map(|s| s.queue.len()).max().unwrap_or(0);
+            let state_rows: usize = self.streams.iter().map(|s| s.state.buffered_rows()).sum();
+            self.rec.gauge("serve.queue_depth", max_depth as f64);
+            self.rec.gauge("serve.state_rows", state_rows as f64);
+            self.rec.gauge("serve.streams", self.streams.len() as f64);
+            let (total_processed, total_shed) = (self.processed, self.shed);
+            let n_streams = verdicts.len() as u64;
+            self.rec.emit("serve.batch", |e| {
+                e.u64("streams", n_streams)
+                    .u64("points", processed as u64)
+                    .u64("processed_total", total_processed)
+                    .u64("shed_total", total_shed);
+            });
+        }
+
+        let checkpoint = if self.ckpt_dir.is_some()
+            && self.config.checkpoint_every > 0
+            && self.since_ckpt >= self.config.checkpoint_every
+        {
+            self.checkpoint_now()?
+        } else {
+            None
+        };
+        Ok(BatchReport { processed, verdicts, checkpoint })
+    }
+
+    /// Runs batches until every queue is empty, concatenating the verdicts
+    /// per stream.
+    pub fn drain(&mut self) -> Result<BTreeMap<String, Vec<OnlineVerdict>>, ServeError> {
+        let mut all: BTreeMap<String, Vec<OnlineVerdict>> = BTreeMap::new();
+        loop {
+            let report = self.run_batch()?;
+            if report.processed == 0 {
+                return Ok(all);
+            }
+            for sv in report.verdicts {
+                all.entry(sv.stream).or_default().extend(sv.verdicts);
+            }
+        }
+    }
+
+    /// Atomically writes a checkpoint of every stream's full streaming
+    /// state (plus engine counters) into the checkpoint directory, pruning
+    /// old files beyond `keep_checkpoints`. Returns `None` when the engine
+    /// has no checkpoint directory. Queued-but-unscored points are *not*
+    /// checkpointed: on crash they are the producer's to retry, while every
+    /// scored point's effect on stream state is recoverable.
+    pub fn checkpoint_now(&mut self) -> Result<Option<PathBuf>, ServeError> {
+        let Some(dir) = self.ckpt_dir.clone() else {
+            return Ok(None);
+        };
+        self.ckpt_seq += 1;
+        let ck = ServeCheckpoint {
+            format_version: CHECKPOINT_VERSION,
+            seq: self.ckpt_seq,
+            processed: self.processed,
+            shed: self.shed,
+            streams: self
+                .index
+                .iter()
+                .map(|(name, &i)| StreamState {
+                    name: name.clone(),
+                    snapshot: self.streams[i].state.snapshot(),
+                })
+                .collect(),
+        };
+        let path = checkpoint::write(&dir, &ck, self.config.keep_checkpoints)?;
+        self.since_ckpt = 0;
+        self.rec.add("serve.checkpoints", 1);
+        Ok(Some(path))
+    }
+
+    /// Stream names in registration order.
+    pub fn streams(&self) -> Vec<&str> {
+        self.streams.iter().map(|s| s.name.as_str()).collect()
+    }
+
+    /// Points a stream has consumed (scored) so far, or `None` for an
+    /// unknown stream. After a resume this tells the producer where to
+    /// continue feeding.
+    pub fn stream_seen(&self, stream: &str) -> Option<u64> {
+        self.index.get(stream).map(|&i| self.streams[i].state.seen())
+    }
+
+    /// Points currently queued (accepted but not yet scored) for a stream.
+    pub fn queued(&self, stream: &str) -> Option<usize> {
+        self.index.get(stream).map(|&i| self.streams[i].queue.len())
+    }
+
+    /// Lifetime points scored (continues across resume).
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Lifetime points shed by backpressure (continues across resume).
+    pub fn shed_total(&self) -> u64 {
+        self.shed
+    }
+
+    /// Total history rows resident across all streams — bounded by
+    /// `streams × max(window, context)` regardless of stream length.
+    pub fn state_rows(&self) -> usize {
+        self.streams.iter().map(|s| s.state.buffered_rows()).sum()
+    }
+
+    /// The served model.
+    pub fn trained(&self) -> &TrainedTranad {
+        &self.trained
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    fn ensure_stream(&mut self, name: &str) -> Result<usize, ServeError> {
+        if let Some(&i) = self.index.get(name) {
+            return Ok(i);
+        }
+        let state = OnlineState::new(&self.trained, self.config.pot)?;
+        Ok(self.register(name.to_string(), state))
+    }
+
+    fn register(&mut self, name: String, state: OnlineState) -> usize {
+        let i = self.streams.len();
+        self.index.insert(name.clone(), i);
+        self.streams.push(StreamSlot {
+            name,
+            state,
+            queue: VecDeque::new(),
+            pending: Vec::new(),
+            out: Vec::new(),
+            first_seq: 0,
+            error: None,
+        });
+        i
+    }
+}

@@ -1,0 +1,145 @@
+//! # tranad-serve
+//!
+//! Crash-safe streaming serving for TranAD — the production shell around
+//! the paper's Algorithm 2 deployment mode.
+//!
+//! An [`Engine`] owns one trained model and fans incoming datapoints across
+//! per-stream [`tranad::OnlineState`]s (bounded history ring + streaming
+//! SPOT thresholds per stream). The design targets the ROADMAP's
+//! heavy-traffic serving story:
+//!
+//! - **Micro-batching**: producers enqueue points with [`Engine::push`]
+//!   (cheap — validation plus a bounded-queue append); [`Engine::run_batch`]
+//!   drains up to `batch_max` points per stream and scores the streams in
+//!   parallel over the `tranad-tensor` thread pool. Each stream is scored
+//!   serially within one pool task and touches only its own state, so
+//!   verdicts are bitwise-identical for any `TRANAD_THREADS` value.
+//! - **Bounded queues with explicit backpressure**: a full queue sheds the
+//!   point ([`PushOutcome::Shed`]) instead of blocking the producer or
+//!   growing without bound; shed totals are counted and traced.
+//! - **Crash safety**: [`Engine::checkpoint_now`] (and the automatic
+//!   `checkpoint_every` policy) atomically persists every stream's full
+//!   streaming state; [`Engine::resume`] restarts from the latest
+//!   checkpoint and continues with bitwise-identical verdicts. Points that
+//!   were processed after the last checkpoint are simply re-scored on
+//!   replay — determinism makes the replay exact.
+//! - **Observability**: `serve.batch` spans/events, `serve.push_us`
+//!   latency histograms, `serve.queue_depth`/`serve.state_rows` gauges and
+//!   `serve.shed`/`serve.checkpoints` counters flow through
+//!   `tranad-telemetry`, so `trace-report` attributes serving time like any
+//!   other pipeline phase.
+//!
+//! ```no_run
+//! use tranad::TrainedTranad;
+//! use tranad_serve::{Engine, ServeConfig};
+//!
+//! let trained = TrainedTranad::load("model.json").unwrap();
+//! let config = ServeConfig { checkpoint_every: 256, ..ServeConfig::default() };
+//! // Resumes from the latest checkpoint under ./ckpts, if any.
+//! let mut engine = Engine::resume(trained, config, "ckpts").unwrap();
+//! engine.push("web-frontend", &[0.3, 0.7]).unwrap();
+//! let report = engine.run_batch().unwrap();
+//! for sv in &report.verdicts {
+//!     for v in &sv.verdicts {
+//!         if v.anomalous { println!("{}: anomaly!", sv.stream); }
+//!     }
+//! }
+//! ```
+
+mod checkpoint;
+mod engine;
+
+pub use checkpoint::{ServeCheckpoint, StreamState};
+pub use engine::{BatchReport, Engine, PushOutcome, StreamVerdicts};
+
+use std::fmt;
+use tranad::{DetectorError, PersistError};
+use tranad_evt::PotConfig;
+
+/// Serving-layer configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// SPOT calibration used when a new stream is first seen.
+    pub pot: PotConfig,
+    /// Per-stream bounded queue capacity; a push beyond it is shed.
+    pub max_queue: usize,
+    /// Maximum points drained per stream per [`Engine::run_batch`] call.
+    pub batch_max: usize,
+    /// Automatically checkpoint after this many processed points
+    /// (`0` disables the automatic policy; [`Engine::checkpoint_now`]
+    /// still works).
+    pub checkpoint_every: u64,
+    /// Checkpoint files retained on disk (older ones are pruned).
+    pub keep_checkpoints: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            pot: PotConfig::default(),
+            max_queue: 256,
+            batch_max: 64,
+            checkpoint_every: 0,
+            keep_checkpoints: 2,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Validates the configuration.
+    pub fn check(&self) -> Result<(), ServeError> {
+        if self.max_queue == 0 {
+            return Err(ServeError::InvalidConfig("max_queue must be >= 1".to_string()));
+        }
+        if self.batch_max == 0 {
+            return Err(ServeError::InvalidConfig("batch_max must be >= 1".to_string()));
+        }
+        if self.keep_checkpoints == 0 {
+            return Err(ServeError::InvalidConfig("keep_checkpoints must be >= 1".to_string()));
+        }
+        self.pot.check().map_err(|e| ServeError::InvalidConfig(e.to_string()))
+    }
+}
+
+/// Why the serving layer could not accept, score or persist work.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The detection layer rejected the work (bad input, SPOT failure, ...).
+    Detector(DetectorError),
+    /// Checkpoint I/O or decoding failed.
+    Persist(PersistError),
+    /// The serving configuration is out of range.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Detector(e) => write!(f, "detector error: {e}"),
+            ServeError::Persist(e) => write!(f, "checkpoint error: {e}"),
+            ServeError::InvalidConfig(msg) => write!(f, "invalid serve config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Detector(e) => Some(e),
+            ServeError::Persist(e) => Some(e),
+            ServeError::InvalidConfig(_) => None,
+        }
+    }
+}
+
+impl From<DetectorError> for ServeError {
+    fn from(e: DetectorError) -> Self {
+        ServeError::Detector(e)
+    }
+}
+
+impl From<PersistError> for ServeError {
+    fn from(e: PersistError) -> Self {
+        ServeError::Persist(e)
+    }
+}

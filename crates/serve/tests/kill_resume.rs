@@ -1,0 +1,230 @@
+//! End-to-end serving tests: crash/resume equivalence, thread-count
+//! determinism, backpressure shedding, input validation, and checkpoint
+//! retention — all against a real trained model.
+
+use std::path::PathBuf;
+use std::sync::OnceLock;
+use tranad::{train, OnlineVerdict, TrainedTranad, TranadConfig};
+use tranad_data::TimeSeries;
+use tranad_serve::{Engine, PushOutcome, ServeConfig, ServeError};
+use tranad_tensor::pool;
+
+const DIMS: usize = 2;
+
+/// Deterministic pseudo-noise, a pure function of its coordinates.
+fn jitter(stream: usize, t: usize, d: usize) -> f64 {
+    let x = t as f64 * 12.9898 + stream as f64 * 78.233 + d as f64 * 37.719;
+    (x.sin() * 43758.5453).fract() - 0.5
+}
+
+fn point(stream: usize, t: usize) -> Vec<f64> {
+    let x = t as f64;
+    vec![
+        (x / 11.0 + stream as f64).sin() + 0.05 * jitter(stream, t, 0),
+        (x / 7.0).cos() * 0.5 + 0.04 * jitter(stream, t, 1),
+    ]
+}
+
+/// Trains the shared tiny model once per test process and persists it so
+/// each test can cheaply load its own copy.
+fn model_path() -> &'static PathBuf {
+    static PATH: OnceLock<PathBuf> = OnceLock::new();
+    PATH.get_or_init(|| {
+        let rows: Vec<f64> = (0..400).flat_map(|t| point(7, t)).collect();
+        let series = TimeSeries::from_rows(rows, 400, DIMS);
+        let config = TranadConfig::builder()
+            .epochs(2)
+            .window(6)
+            .context(12)
+            .ff_hidden(16)
+            .dropout(0.0)
+            .build()
+            .unwrap();
+        let (trained, _) = train(&series, config).unwrap();
+        let path = std::env::temp_dir()
+            .join(format!("tranad_serve_test_model_{}.json", std::process::id()));
+        trained.save(&path).unwrap();
+        path
+    })
+}
+
+fn load_model() -> TrainedTranad {
+    TrainedTranad::load(model_path()).unwrap()
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("tranad_serve_test_{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// Feeds `points` of every stream into `engine` (batching every 8 pushes)
+/// and returns the verdicts per stream index.
+fn feed(engine: &mut Engine, streams: &[&str], from: &[usize], to: usize) -> Vec<Vec<OnlineVerdict>> {
+    let mut out = vec![Vec::new(); streams.len()];
+    let lo = from.iter().copied().min().unwrap_or(0);
+    for t in lo..to {
+        for (s, name) in streams.iter().enumerate() {
+            if t >= from[s] {
+                engine.push(name, &point(s, t)).unwrap();
+            }
+        }
+        if t % 8 == 7 {
+            for sv in engine.run_batch().unwrap().verdicts {
+                let s = streams.iter().position(|n| *n == sv.stream).unwrap();
+                out[s].extend(sv.verdicts);
+            }
+        }
+    }
+    for (name, vs) in engine.drain().unwrap() {
+        let s = streams.iter().position(|n| *n == name).unwrap();
+        out[s].extend(vs);
+    }
+    out
+}
+
+fn assert_bitwise_eq(a: &[OnlineVerdict], b: &[OnlineVerdict], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: verdict counts differ");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x.anomalous, y.anomalous, "{what}: verdict {i} diverged");
+        assert_eq!(x.dim_labels, y.dim_labels, "{what}: labels {i} diverged");
+        for (d, (p, q)) in x.scores.iter().zip(&y.scores).enumerate() {
+            assert_eq!(p.to_bits(), q.to_bits(), "{what}: score {i} dim {d} diverged");
+        }
+    }
+}
+
+#[test]
+fn kill_and_resume_matches_uninterrupted_run() {
+    let streams = ["alpha", "beta"];
+    let total = 160;
+    let kill_at = 90;
+
+    let mut reference = Engine::new(load_model(), ServeConfig::default()).unwrap();
+    let expected = feed(&mut reference, &streams, &[0, 0], total);
+
+    let dir = tmp_dir("kr");
+    let config = ServeConfig { checkpoint_every: 24, batch_max: 8, ..ServeConfig::default() };
+    let mut victim = Engine::resume(load_model(), config, &dir).unwrap();
+    for t in 0..kill_at {
+        for (s, name) in streams.iter().enumerate() {
+            victim.push(name, &point(s, t)).unwrap();
+        }
+        if t % 8 == 7 {
+            victim.run_batch().unwrap();
+        }
+    }
+    drop(victim); // crash: queued points and post-checkpoint progress lost
+
+    let mut resumed = Engine::resume(load_model(), config, &dir).unwrap();
+    assert!(resumed.processed() > 0, "resume must restore lifetime counters");
+    let from: Vec<usize> =
+        streams.iter().map(|n| resumed.stream_seen(n).unwrap() as usize).collect();
+    for &f in &from {
+        assert!(f > 0 && f <= kill_at, "checkpointed progress out of range: {f}");
+    }
+    let got = feed(&mut resumed, &streams, &from, total);
+    for (s, name) in streams.iter().enumerate() {
+        assert_bitwise_eq(&expected[s][from[s]..], &got[s], name);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn verdicts_are_identical_across_thread_counts() {
+    let streams = ["a", "b", "c"];
+    let run = |threads: usize| {
+        pool::with_threads(threads, || {
+            let mut engine = Engine::new(load_model(), ServeConfig::default()).unwrap();
+            feed(&mut engine, &streams, &[0, 0, 0], 96)
+        })
+    };
+    let serial = run(1);
+    let parallel = run(8);
+    for (s, name) in streams.iter().enumerate() {
+        assert_eq!(serial[s].len(), 96);
+        assert_bitwise_eq(&serial[s], &parallel[s], name);
+    }
+}
+
+#[test]
+fn full_queue_sheds_instead_of_blocking_or_growing() {
+    let config = ServeConfig { max_queue: 4, ..ServeConfig::default() };
+    let mut engine = Engine::new(load_model(), config).unwrap();
+    for t in 0..4 {
+        assert_eq!(
+            engine.push("s", &point(0, t)).unwrap(),
+            PushOutcome::Enqueued { depth: t + 1 }
+        );
+    }
+    for t in 4..7 {
+        assert_eq!(engine.push("s", &point(0, t)).unwrap(), PushOutcome::Shed { depth: 4 });
+    }
+    assert_eq!(engine.queued("s"), Some(4));
+    assert_eq!(engine.shed_total(), 3);
+    // The queue drains and keeps serving after shedding.
+    let verdicts = engine.drain().unwrap();
+    assert_eq!(verdicts["s"].len(), 4);
+    assert_eq!(engine.queued("s"), Some(0));
+}
+
+#[test]
+fn malformed_input_is_rejected_before_the_queue() {
+    let mut engine = Engine::new(load_model(), ServeConfig::default()).unwrap();
+    assert!(matches!(engine.push("s", &[1.0]), Err(ServeError::Detector(_))));
+    assert!(matches!(engine.push("s", &[f64::NAN, 0.0]), Err(ServeError::Detector(_))));
+    assert!(matches!(engine.push("s", &[0.0, f64::INFINITY]), Err(ServeError::Detector(_))));
+    // Rejected pushes never even create the stream, and serving works
+    // normally afterwards.
+    assert_eq!(engine.queued("s"), None);
+    engine.push("s", &point(0, 0)).unwrap();
+    assert_eq!(engine.drain().unwrap()["s"].len(), 1);
+}
+
+#[test]
+fn old_checkpoints_are_pruned() {
+    let dir = tmp_dir("prune");
+    let config = ServeConfig {
+        checkpoint_every: 4,
+        batch_max: 4,
+        keep_checkpoints: 2,
+        ..ServeConfig::default()
+    };
+    let mut engine = Engine::resume(load_model(), config, &dir).unwrap();
+    for t in 0..32 {
+        engine.push("s", &point(0, t)).unwrap();
+        if t % 4 == 3 {
+            engine.run_batch().unwrap();
+        }
+    }
+    let files: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    assert_eq!(files.len(), 2, "expected 2 retained checkpoints, found {files:?}");
+    assert!(files.iter().all(|f| f.starts_with("ckpt-") && f.ends_with(".json")));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bounded_state_over_long_streams() {
+    let mut engine = Engine::new(load_model(), ServeConfig::default()).unwrap();
+    let cap = {
+        let c = engine.trained().model.config();
+        c.window.max(c.context)
+    };
+    for t in 0..2_000 {
+        engine.push("s", &point(0, t)).unwrap();
+        if t % 64 == 63 {
+            engine.run_batch().unwrap();
+        }
+    }
+    engine.drain().unwrap();
+    assert_eq!(engine.stream_seen("s"), Some(2_000));
+    assert!(
+        engine.state_rows() <= cap,
+        "one stream must keep at most {cap} rows, found {}",
+        engine.state_rows()
+    );
+}

@@ -34,6 +34,14 @@ pub enum DetectorError {
         /// 0-based epoch at which the loss left the finite range.
         epoch: usize,
     },
+    /// A streamed datapoint contains NaN or ±Inf. Scoring it would poison
+    /// the model window and streaming SPOT state, so it is rejected before
+    /// any state is touched — the detector keeps working on the next valid
+    /// point.
+    NonFiniteInput {
+        /// 0-based dimension of the first non-finite value.
+        dim: usize,
+    },
     /// A score row is empty or contains NaN — the detector produced no
     /// usable score for that timestamp.
     MalformedScores {
@@ -74,6 +82,9 @@ impl fmt::Display for DetectorError {
             }
             DetectorError::NonFiniteLoss { epoch } => {
                 write!(f, "non-finite training loss at epoch {epoch}")
+            }
+            DetectorError::NonFiniteInput { dim } => {
+                write!(f, "non-finite (NaN/Inf) input value at dimension {dim}")
             }
             DetectorError::MalformedScores { timestamp } => {
                 write!(f, "malformed (empty or NaN) score row at timestamp {timestamp}")

@@ -54,8 +54,8 @@ pub use detect::{
 pub use error::DetectorError;
 pub use introspect::Introspection;
 pub use model::{TranadModel, TranadOutput};
-pub use online::{OnlineDetector, OnlineVerdict};
-pub use persist::PersistError;
+pub use online::{OnlineDetector, OnlineSnapshot, OnlineState, OnlineVerdict};
+pub use persist::{atomic_write, PersistError};
 pub use train::{train, train_with, TrainReport, TrainedTranad};
 
 // Re-export the POT configuration: it is part of the detection API surface.

@@ -2,18 +2,27 @@
 //! datapoints arrive one at a time, each is scored against the model using
 //! only past observations, and per-dimension streaming SPOT thresholds turn
 //! scores into labels on the spot.
+//!
+//! The streaming state is **bounded and resumable**: only the last
+//! `max(window, context)` normalized rows are retained in a fixed ring
+//! buffer (a 10k-point stream holds exactly as much history as a 12-point
+//! one), a monotonic counter tracks the points consumed, and the whole
+//! state — ring contents, counter and per-dimension SPOT tail models — can
+//! be captured with [`OnlineDetector::snapshot`] and rebuilt with
+//! [`OnlineDetector::restore`] so a restarted process continues with
+//! bitwise-identical verdicts.
 
 use crate::error::DetectorError;
 use crate::train::TrainedTranad;
 use std::time::Instant;
 use tranad_data::TimeSeries;
-use tranad_evt::{PotConfig, Spot};
+use tranad_evt::{PotConfig, Spot, SpotParts};
 use tranad_nn::Ctx;
 use tranad_telemetry::Recorder;
 use tranad_tensor::Tensor;
 
 /// The verdict for one streamed datapoint.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OnlineVerdict {
     /// Per-dimension anomaly scores at this timestamp.
     pub scores: Vec<f64>,
@@ -23,16 +32,247 @@ pub struct OnlineVerdict {
     pub anomalous: bool,
 }
 
-/// A streaming anomaly detector wrapping a trained TranAD model.
+/// A full, serializable snapshot of streaming state.
 ///
-/// Keeps a replication-padded ring buffer of the most recent context and a
-/// per-dimension [`Spot`] thresholder. Feed raw (unnormalized) datapoints
-/// with [`OnlineDetector::push`].
-pub struct OnlineDetector<'a> {
-    trained: &'a TrainedTranad,
-    history: Vec<Vec<f64>>, // normalized rows, newest last
+/// Everything a restarted process needs to continue a stream exactly where
+/// it left off: the buffered history rows (oldest first), the monotonic
+/// point counter and each dimension's SPOT tail model. Embed it in a model
+/// checkpoint with [`TrainedTranad::save_with_streaming`] or persist it on
+/// its own (it implements the `tranad-json` traits).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OnlineSnapshot {
+    /// Dimensionality of the stream (must match the model on restore).
+    pub dims: usize,
+    /// Monotonic count of datapoints consumed so far.
+    pub seen: u64,
+    /// Buffered normalized rows, oldest first — at most
+    /// `max(window, context)` of them.
+    pub rows: Vec<Vec<f64>>,
+    /// Per-dimension streaming SPOT state.
+    pub spots: Vec<SpotParts>,
+}
+
+tranad_json::impl_json_struct!(OnlineSnapshot { dims, seen, rows, spots });
+
+/// Model-independent streaming state: the bounded history ring, the point
+/// counter and the per-dimension SPOT thresholders.
+///
+/// This is the piece a serving layer owns per stream; it borrows the
+/// (shared, read-only) [`TrainedTranad`] only for the duration of each
+/// [`OnlineState::push`], so many streams can score against one model —
+/// including in parallel, since a push only mutates its own state.
+/// [`OnlineDetector`] wraps one state together with a model reference and
+/// telemetry for the single-stream case.
+pub struct OnlineState {
+    /// Ring storage: logical order runs `start..start+len` modulo capacity.
+    rows: Vec<Vec<f64>>,
+    start: usize,
+    /// Fixed capacity `max(window, context)` — the longest tail any forward
+    /// pass reads.
+    cap: usize,
+    /// Monotonic count of points consumed; never decreases, unlike the ring
+    /// length which saturates at `cap`.
+    seen: u64,
     spots: Vec<Spot>,
     dims: usize,
+}
+
+impl OnlineState {
+    /// Creates fresh streaming state; SPOT is initialized from the model's
+    /// training scores. Fails with [`DetectorError::PotFitFailed`] when a
+    /// dimension's training scores cannot calibrate SPOT.
+    pub fn new(trained: &TrainedTranad, pot: PotConfig) -> Result<Self, DetectorError> {
+        let dims = trained.model.dims();
+        let config = trained.model.config();
+        let mut spots = Vec::with_capacity(dims);
+        for d in 0..dims {
+            let calib: Vec<f64> = trained.train_scores.iter().map(|r| r[d]).collect();
+            spots.push(Spot::try_init(&calib, pot).map_err(|e| DetectorError::pot(d, e))?);
+        }
+        let cap = config.window.max(config.context);
+        Ok(OnlineState { rows: Vec::with_capacity(cap), start: 0, cap, seen: 0, spots, dims })
+    }
+
+    /// Number of datapoints consumed so far (the monotonic counter — not
+    /// the ring length, which is bounded by [`OnlineState::capacity`]).
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Fixed ring capacity: `max(window, context)` rows.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// History rows currently resident (`<= capacity()`, always).
+    pub fn buffered_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Total streaming SPOT re-calibrations across all dimensions so far.
+    pub fn refits(&self) -> u64 {
+        self.spots.iter().map(|s| s.refits()).sum()
+    }
+
+    /// Consumes one raw datapoint and returns its verdict.
+    ///
+    /// Fails with [`DetectorError::DimensionMismatch`] when the datapoint's
+    /// width does not match the model and [`DetectorError::NonFiniteInput`]
+    /// when it contains NaN/±Inf; both checks run before any state is
+    /// touched, so the stream continues cleanly on the next valid point.
+    pub fn push(
+        &mut self,
+        trained: &TrainedTranad,
+        datapoint: &[f64],
+    ) -> Result<OnlineVerdict, DetectorError> {
+        if datapoint.len() != self.dims {
+            return Err(DetectorError::DimensionMismatch {
+                expected: self.dims,
+                got: datapoint.len(),
+            });
+        }
+        if let Some(dim) = datapoint.iter().position(|v| !v.is_finite()) {
+            return Err(DetectorError::NonFiniteInput { dim });
+        }
+        // Normalize with the *training* normalizer (Eq. 1: ranges known
+        // a-priori), then append to the bounded ring.
+        let row = TimeSeries::from_rows(datapoint.to_vec(), 1, self.dims);
+        let normalized = trained.normalizer.transform(&row);
+        self.insert(normalized.row(0).to_vec());
+
+        let config = *trained.model.config();
+        let k = config.window;
+        let c_len = config.context;
+
+        // Assemble the current window and context with replication padding
+        // (exactly §3.2's W_t and C_t).
+        let window = self.padded_tail(k);
+        let context = self.padded_tail(c_len);
+
+        let ctx = Ctx::eval(&trained.store);
+        let w = ctx.input(Tensor::from_vec(window, [1, k, self.dims]));
+        let c = ctx.input(Tensor::from_vec(context, [1, c_len, self.dims]));
+        let out = trained.model.forward(&ctx, &w, &c);
+        let o1 = out.o1.value();
+        let o2h = out.o2_hat.value();
+        let wv = w.value();
+
+        let base = (k - 1) * self.dims;
+        let scores: Vec<f64> = (0..self.dims)
+            .map(|d| {
+                let target = wv.data()[base + d];
+                let e1 = o1.data()[base + d] - target;
+                let e2 = o2h.data()[base + d] - target;
+                0.5 * e1 * e1 + 0.5 * e2 * e2
+            })
+            .collect();
+        let dim_labels: Vec<bool> = scores
+            .iter()
+            .zip(self.spots.iter_mut())
+            .map(|(&s, spot)| spot.step(s))
+            .collect();
+        let anomalous = dim_labels.iter().any(|&b| b);
+        Ok(OnlineVerdict { scores, dim_labels, anomalous })
+    }
+
+    /// Captures the complete streaming state for checkpointing.
+    pub fn snapshot(&self) -> OnlineSnapshot {
+        OnlineSnapshot {
+            dims: self.dims,
+            seen: self.seen,
+            rows: (0..self.rows.len()).map(|i| self.logical(i).to_vec()).collect(),
+            spots: self.spots.iter().map(Spot::to_parts).collect(),
+        }
+    }
+
+    /// Rebuilds streaming state from a snapshot taken against the same
+    /// model. A restored state's future verdicts are bitwise-identical to
+    /// an uninterrupted run's. Validates the snapshot against the model
+    /// (dimensionality, row widths, ring bound, SPOT-state consistency) so
+    /// a corrupt or mismatched checkpoint fails loudly.
+    pub fn restore(trained: &TrainedTranad, snap: &OnlineSnapshot) -> Result<Self, DetectorError> {
+        let dims = trained.model.dims();
+        if snap.dims != dims {
+            return Err(DetectorError::DimensionMismatch { expected: dims, got: snap.dims });
+        }
+        let config = trained.model.config();
+        let cap = config.window.max(config.context);
+        if snap.rows.len() > cap {
+            return Err(DetectorError::Failed(format!(
+                "snapshot buffers {} rows but the model's ring holds at most {cap}",
+                snap.rows.len()
+            )));
+        }
+        if snap.seen < snap.rows.len() as u64 {
+            return Err(DetectorError::Failed(format!(
+                "snapshot counter {} is smaller than its {} buffered rows",
+                snap.seen,
+                snap.rows.len()
+            )));
+        }
+        for row in &snap.rows {
+            if row.len() != dims {
+                return Err(DetectorError::DimensionMismatch { expected: dims, got: row.len() });
+            }
+            if let Some(dim) = row.iter().position(|v| !v.is_finite()) {
+                return Err(DetectorError::NonFiniteInput { dim });
+            }
+        }
+        if snap.spots.len() != dims {
+            return Err(DetectorError::Failed(format!(
+                "snapshot has {} SPOT states for a {dims}-dimensional model",
+                snap.spots.len()
+            )));
+        }
+        let mut spots = Vec::with_capacity(dims);
+        for (d, parts) in snap.spots.iter().enumerate() {
+            spots.push(Spot::from_parts(parts.clone()).map_err(|e| DetectorError::pot(d, e))?);
+        }
+        let mut rows = Vec::with_capacity(cap);
+        rows.extend(snap.rows.iter().cloned());
+        Ok(OnlineState { rows, start: 0, cap, seen: snap.seen, spots, dims })
+    }
+
+    /// Appends a row, overwriting the oldest once the ring is full.
+    fn insert(&mut self, row: Vec<f64>) {
+        if self.rows.len() < self.cap {
+            self.rows.push(row);
+        } else {
+            self.rows[self.start] = row;
+            self.start = (self.start + 1) % self.cap;
+        }
+        self.seen += 1;
+    }
+
+    /// The `i`-th buffered row in logical order (0 = oldest).
+    fn logical(&self, i: usize) -> &[f64] {
+        &self.rows[(self.start + i) % self.rows.len()]
+    }
+
+    /// The last `n` history rows flattened, replication-padded at the front
+    /// with the oldest available row. `n <= capacity()` always holds (it is
+    /// the window or context length), so the ring never evicts a row a
+    /// forward pass still needs.
+    fn padded_tail(&self, n: usize) -> Vec<f64> {
+        let mut out = Vec::with_capacity(n * self.dims);
+        let have = self.rows.len();
+        for i in 0..n {
+            let idx = (have + i).saturating_sub(n);
+            out.extend_from_slice(self.logical(idx.min(have - 1)));
+        }
+        out
+    }
+}
+
+/// A streaming anomaly detector wrapping a trained TranAD model.
+///
+/// Keeps a replication-padded bounded ring of the most recent context and a
+/// per-dimension [`Spot`] thresholder (see [`OnlineState`]). Feed raw
+/// (unnormalized) datapoints with [`OnlineDetector::push`]; checkpoint with
+/// [`OnlineDetector::snapshot`] and resume with [`OnlineDetector::restore`].
+pub struct OnlineDetector<'a> {
+    trained: &'a TrainedTranad,
+    state: OnlineState,
     rec: Recorder,
 }
 
@@ -53,28 +293,57 @@ impl<'a> OnlineDetector<'a> {
         pot: PotConfig,
         rec: Recorder,
     ) -> Result<Self, DetectorError> {
-        let dims = trained.model.dims();
-        let mut spots = Vec::with_capacity(dims);
-        for d in 0..dims {
-            let calib: Vec<f64> = trained.train_scores.iter().map(|r| r[d]).collect();
-            spots.push(Spot::try_init(&calib, pot).map_err(|e| DetectorError::pot(d, e))?);
-        }
-        Ok(OnlineDetector { trained, history: Vec::new(), spots, dims, rec })
+        Ok(OnlineDetector { trained, state: OnlineState::new(trained, pot)?, rec })
     }
 
-    /// Number of datapoints consumed so far.
+    /// Resumes a detector from a [`snapshot`](OnlineDetector::snapshot)
+    /// taken against the same model. The restored detector's verdicts are
+    /// bitwise-identical to those of an uninterrupted run. Traces to the
+    /// process-global recorder.
+    pub fn restore(trained: &'a TrainedTranad, snap: &OnlineSnapshot) -> Result<Self, DetectorError> {
+        Self::restore_with_recorder(trained, snap, tranad_telemetry::global().clone())
+    }
+
+    /// [`OnlineDetector::restore`] with an explicit recorder.
+    pub fn restore_with_recorder(
+        trained: &'a TrainedTranad,
+        snap: &OnlineSnapshot,
+        rec: Recorder,
+    ) -> Result<Self, DetectorError> {
+        Ok(OnlineDetector { trained, state: OnlineState::restore(trained, snap)?, rec })
+    }
+
+    /// Number of datapoints consumed so far (the monotonic point counter;
+    /// resident history stays bounded at [`OnlineDetector::capacity`]).
     pub fn len(&self) -> usize {
-        self.history.len()
+        self.state.seen() as usize
     }
 
     /// True if no datapoints were consumed yet.
     pub fn is_empty(&self) -> bool {
-        self.history.is_empty()
+        self.state.seen() == 0
+    }
+
+    /// Fixed history capacity: `max(window, context)` rows.
+    pub fn capacity(&self) -> usize {
+        self.state.capacity()
+    }
+
+    /// History rows currently resident (`<= capacity()`, always — the
+    /// memory-bound guarantee for long streams).
+    pub fn buffered_rows(&self) -> usize {
+        self.state.buffered_rows()
     }
 
     /// Total streaming SPOT re-calibrations across all dimensions so far.
     pub fn refits(&self) -> u64 {
-        self.spots.iter().map(|s| s.refits()).sum()
+        self.state.refits()
+    }
+
+    /// Captures the complete streaming state (ring contents, point counter,
+    /// SPOT tail models) for checkpointing.
+    pub fn snapshot(&self) -> OnlineSnapshot {
+        self.state.snapshot()
     }
 
     /// Emits an `online.stream` summary event (points consumed, total SPOT
@@ -82,77 +351,24 @@ impl<'a> OnlineDetector<'a> {
     pub fn flush_telemetry(&self) {
         let rec = self.rec.clone();
         rec.emit("online.stream", |e| {
-            e.u64("points", self.history.len() as u64).u64("refits", self.refits());
+            e.u64("points", self.state.seen()).u64("refits", self.refits());
         });
     }
 
     /// Consumes one raw datapoint and returns its verdict. Fails with
     /// [`DetectorError::DimensionMismatch`] when the datapoint's width does
-    /// not match the model.
+    /// not match the model and [`DetectorError::NonFiniteInput`] for
+    /// NaN/±Inf values (the state is untouched, so the next valid point
+    /// proceeds normally).
     pub fn push(&mut self, datapoint: &[f64]) -> Result<OnlineVerdict, DetectorError> {
-        if datapoint.len() != self.dims {
-            return Err(DetectorError::DimensionMismatch {
-                expected: self.dims,
-                got: datapoint.len(),
-            });
-        }
         let _scope = self.rec.span_scope();
         let _span = tranad_telemetry::span::enter("online.push");
         let started = self.rec.enabled().then(Instant::now);
-        // Normalize with the *training* normalizer (Eq. 1: ranges known
-        // a-priori), then append to history.
-        let row = TimeSeries::from_rows(datapoint.to_vec(), 1, self.dims);
-        let normalized = self.trained.normalizer.transform(&row);
-        self.history.push(normalized.row(0).to_vec());
-
-        let config = *self.trained.model.config();
-        let k = config.window;
-        let c_len = config.context;
-
-        // Assemble the current window and context with replication padding
-        // (exactly §3.2's W_t and C_t).
-        let window = self.padded_tail(k);
-        let context = self.padded_tail(c_len);
-
-        let ctx = Ctx::eval(&self.trained.store);
-        let w = ctx.input(Tensor::from_vec(window, [1, k, self.dims]));
-        let c = ctx.input(Tensor::from_vec(context, [1, c_len, self.dims]));
-        let out = self.trained.model.forward(&ctx, &w, &c);
-        let o1 = out.o1.value();
-        let o2h = out.o2_hat.value();
-        let wv = w.value();
-
-        let base = (k - 1) * self.dims;
-        let scores: Vec<f64> = (0..self.dims)
-            .map(|d| {
-                let target = wv.data()[base + d];
-                let e1 = o1.data()[base + d] - target;
-                let e2 = o2h.data()[base + d] - target;
-                0.5 * e1 * e1 + 0.5 * e2 * e2
-            })
-            .collect();
-        let dim_labels: Vec<bool> = scores
-            .iter()
-            .zip(self.spots.iter_mut())
-            .map(|(&s, spot)| spot.step(s))
-            .collect();
-        let anomalous = dim_labels.iter().any(|&b| b);
+        let verdict = self.state.push(self.trained, datapoint)?;
         if let Some(started) = started {
             self.rec.observe("online.push_us", 1e6 * started.elapsed().as_secs_f64());
         }
-        Ok(OnlineVerdict { scores, dim_labels, anomalous })
-    }
-
-    /// The last `n` history rows flattened, replication-padded at the front
-    /// with the oldest available row.
-    fn padded_tail(&self, n: usize) -> Vec<f64> {
-        let mut out = Vec::with_capacity(n * self.dims);
-        let have = self.history.len();
-        for i in 0..n {
-            let idx = (have + i).saturating_sub(n);
-            out.extend_from_slice(&self.history[idx.min(have - 1)]);
-        }
-        out
+        Ok(verdict)
     }
 }
 
@@ -180,13 +396,15 @@ mod tests {
         train(&series, config).unwrap().0
     }
 
+    fn noisy_sine(len: usize, seed: u64) -> Vec<f64> {
+        let mut rng = SignalRng::new(seed);
+        (0..len).map(|t| (t as f64 / 9.0).sin() + 0.05 * rng.normal()).collect()
+    }
+
     #[test]
     fn online_matches_batch_scoring_at_tail() {
         let trained = trained_model();
-        let mut rng = SignalRng::new(12);
-        let col: Vec<f64> = (0..60)
-            .map(|t| (t as f64 / 9.0).sin() + 0.05 * rng.normal())
-            .collect();
+        let col = noisy_sine(60, 12);
         let series = TimeSeries::from_columns(std::slice::from_ref(&col));
         let batch_scores = trained.score_series(&series);
 
@@ -229,6 +447,153 @@ mod tests {
         let mut online = OnlineDetector::new(&trained, PotConfig::default()).unwrap();
         let err = online.push(&[1.0, 2.0]).unwrap_err();
         assert_eq!(err, DetectorError::DimensionMismatch { expected: 1, got: 2 });
+    }
+
+    #[test]
+    fn non_finite_input_is_rejected_without_poisoning_state() {
+        let trained = trained_model();
+        let mut clean = OnlineDetector::new(&trained, PotConfig::default()).unwrap();
+        let mut poked = OnlineDetector::new(&trained, PotConfig::default()).unwrap();
+        let stream = noisy_sine(40, 14);
+        for (t, &v) in stream.iter().enumerate() {
+            // Interleave invalid points into one detector only: they must
+            // be rejected up front and leave no trace in its state.
+            if t % 7 == 3 {
+                assert_eq!(
+                    poked.push(&[f64::NAN]).unwrap_err(),
+                    DetectorError::NonFiniteInput { dim: 0 }
+                );
+                assert_eq!(
+                    poked.push(&[f64::INFINITY]).unwrap_err(),
+                    DetectorError::NonFiniteInput { dim: 0 }
+                );
+            }
+            let a = clean.push(&[v]).unwrap();
+            let b = poked.push(&[v]).unwrap();
+            assert_eq!(a, b, "t={t}: rejected inputs perturbed the stream");
+        }
+        assert_eq!(clean.len(), poked.len(), "rejected points must not count as consumed");
+    }
+
+    #[test]
+    fn long_stream_history_is_bounded_and_scores_match_unbounded_tail() {
+        let trained = trained_model();
+        let cap = trained.model.config().window.max(trained.model.config().context);
+        let stream = noisy_sine(10_000, 15);
+
+        let mut online = OnlineDetector::new(&trained, PotConfig::default()).unwrap();
+        assert_eq!(online.capacity(), cap);
+        let mut tail_scores = Vec::new();
+        for (t, &v) in stream.iter().enumerate() {
+            let verdict = online.push(&[v]).unwrap();
+            // The memory bound: resident history never exceeds
+            // max(window, context) rows no matter how long the stream runs.
+            assert!(
+                online.buffered_rows() <= cap,
+                "t={t}: {} resident rows exceeds the {cap}-row bound",
+                online.buffered_rows()
+            );
+            if t >= stream.len() - 100 {
+                tail_scores.push(verdict.scores[0]);
+            }
+        }
+        assert_eq!(online.len(), stream.len());
+        assert_eq!(online.buffered_rows(), cap);
+
+        // Tail-equivalence with unbounded history: scores depend only on the
+        // last `cap` rows, so a fresh detector fed just enough leading
+        // context produces bitwise-identical scores — exactly what the
+        // unbounded pre-fix implementation computed at the tail.
+        let mut reference = OnlineDetector::new(&trained, PotConfig::default()).unwrap();
+        let offset = stream.len() - 100 - cap;
+        let mut ref_scores = Vec::new();
+        for (i, &v) in stream[offset..].iter().enumerate() {
+            let verdict = reference.push(&[v]).unwrap();
+            if i >= cap {
+                ref_scores.push(verdict.scores[0]);
+            }
+        }
+        assert_eq!(tail_scores.len(), ref_scores.len());
+        for (i, (a, b)) in tail_scores.iter().zip(&ref_scores).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "tail score {i} diverged");
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_push_is_bitwise_identical() {
+        let trained = trained_model();
+        let stream = noisy_sine(80, 16);
+        let (head, tail) = stream.split_at(35);
+
+        let mut uninterrupted = OnlineDetector::new(&trained, PotConfig::default()).unwrap();
+        for &v in head {
+            uninterrupted.push(&[v]).unwrap();
+        }
+        let snap = uninterrupted.snapshot();
+        assert_eq!(snap.seen, head.len() as u64);
+
+        let mut restored = OnlineDetector::restore(&trained, &snap).unwrap();
+        assert_eq!(restored.len(), head.len());
+        for (t, &v) in tail.iter().enumerate() {
+            let a = uninterrupted.push(&[v]).unwrap();
+            let b = restored.push(&[v]).unwrap();
+            assert_eq!(a.dim_labels, b.dim_labels, "t={t}: labels diverged after restore");
+            for (d, (x, y)) in a.scores.iter().zip(&b.scores).enumerate() {
+                assert_eq!(x.to_bits(), y.to_bits(), "t={t} dim {d}: scores diverged");
+            }
+        }
+        assert_eq!(uninterrupted.refits(), restored.refits());
+    }
+
+    #[test]
+    fn snapshot_json_roundtrip_preserves_state() {
+        use tranad_json::{FromJson, ToJson};
+        let trained = trained_model();
+        let mut online = OnlineDetector::new(&trained, PotConfig::default()).unwrap();
+        for &v in &noisy_sine(25, 17) {
+            online.push(&[v]).unwrap();
+        }
+        let snap = online.snapshot();
+        let text = snap.to_json().to_string();
+        let back = OnlineSnapshot::from_json(&tranad_json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_or_corrupt_snapshots() {
+        let trained = trained_model();
+        let mut online = OnlineDetector::new(&trained, PotConfig::default()).unwrap();
+        for &v in &noisy_sine(20, 18) {
+            online.push(&[v]).unwrap();
+        }
+        let good = online.snapshot();
+
+        let mut bad = good.clone();
+        bad.dims = 3;
+        assert!(OnlineDetector::restore(&trained, &bad).is_err());
+
+        let mut bad = good.clone();
+        bad.rows.extend(vec![vec![0.0]; bad.rows.len()]); // overflows the ring bound
+        assert!(OnlineDetector::restore(&trained, &bad).is_err());
+
+        let mut bad = good.clone();
+        bad.seen = 1; // smaller than the buffered row count
+        assert!(OnlineDetector::restore(&trained, &bad).is_err());
+
+        let mut bad = good.clone();
+        bad.rows[0][0] = f64::NAN;
+        assert!(OnlineDetector::restore(&trained, &bad).is_err());
+
+        let mut bad = good.clone();
+        bad.spots.clear();
+        assert!(OnlineDetector::restore(&trained, &bad).is_err());
+
+        let mut bad = good;
+        bad.spots[0].refit_every = 0;
+        assert!(matches!(
+            OnlineDetector::restore(&trained, &bad),
+            Err(DetectorError::PotFitFailed { dim: 0, .. })
+        ));
     }
 
     #[test]

@@ -5,14 +5,28 @@
 //! the network from the configuration (parameter registration order is
 //! deterministic) and restores the weights, so a loaded detector scores
 //! bit-identically to the original.
+//!
+//! **Crash safety.** Checkpoints are written atomically: the JSON goes to a
+//! temp file in the target directory, is fsynced, and is renamed over the
+//! destination. A crash mid-write leaves the previous checkpoint intact —
+//! readers never observe a torn file.
+//!
+//! **Format v2.** A checkpoint may embed the streaming state of an
+//! [`crate::OnlineDetector`] (its bounded history ring, point counter and
+//! per-dimension SPOT tail models) under the optional `streaming` key, so a
+//! restarted serving process resumes labeling exactly where it stopped.
+//! Format-v1 files (no streaming key) still load.
 
 use crate::config::TranadConfig;
 use crate::model::TranadModel;
+use crate::online::OnlineSnapshot;
 use crate::train::TrainedTranad;
+use std::io::Write;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use tranad_data::Normalizer;
 use tranad_nn::{Init, ParamStore};
-use tranad_json::{FromJson, ToJson};
+use tranad_json::{FromJson, Json, ToJson};
 use tranad_tensor::Tensor;
 
 /// Serializable snapshot of a trained detector.
@@ -27,7 +41,10 @@ struct SavedModel {
     train_scores: Vec<Vec<f64>>,
 }
 
-const FORMAT_VERSION: u32 = 1;
+/// Current write version. v2 adds the optional embedded streaming state.
+const FORMAT_VERSION: u32 = 2;
+/// Oldest version [`TrainedTranad::load`] still accepts.
+const MIN_FORMAT_VERSION: u32 = 1;
 
 /// Errors from saving/loading a model.
 #[derive(Debug)]
@@ -74,9 +91,65 @@ tranad_json::impl_json_struct!(SavedModel {
     train_scores,
 });
 
+/// Atomically replaces `path` with `contents`: writes a uniquely named
+/// temp file in the same directory, fsyncs it, then renames it over the
+/// destination (and best-effort fsyncs the directory so the rename itself
+/// is durable). A crash at any point leaves either the old file or the new
+/// one — never a torn mix. Used for model checkpoints here and for serving
+/// checkpoints in `tranad-serve`.
+pub fn atomic_write(path: impl AsRef<Path>, contents: &str) -> Result<(), PersistError> {
+    let path = path.as_ref();
+    let dir = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    let name = path
+        .file_name()
+        .ok_or_else(|| PersistError::Corrupt(format!("{} has no file name", path.display())))?;
+    // Unique per process *and* per call, so concurrent writers (or a
+    // leftover temp file from a crashed run) never collide.
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let tmp = dir.join(format!(
+        ".{}.{}.{}.tmp",
+        name.to_string_lossy(),
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let result = (|| -> std::io::Result<()> {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(contents.as_bytes())?;
+        file.sync_all()?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    })();
+    if result.is_err() {
+        // Never leave temp droppings next to the checkpoint on failure.
+        std::fs::remove_file(&tmp).ok();
+    }
+    result?;
+    if let Ok(d) = std::fs::File::open(dir) {
+        d.sync_all().ok();
+    }
+    Ok(())
+}
+
 impl TrainedTranad {
-    /// Saves the detector to a JSON file.
+    /// Saves the detector to a JSON checkpoint, written atomically (temp
+    /// file + fsync + rename): a crash mid-save leaves any previous
+    /// checkpoint at `path` intact.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
+        self.save_with_streaming(path, None)
+    }
+
+    /// [`TrainedTranad::save`] with optional embedded streaming state (a
+    /// format-v2 checkpoint): pass the [`OnlineSnapshot`] of a live
+    /// [`crate::OnlineDetector`] to make the checkpoint resumable
+    /// mid-stream via [`TrainedTranad::load_with_streaming`].
+    pub fn save_with_streaming(
+        &self,
+        path: impl AsRef<Path>,
+        streaming: Option<&OnlineSnapshot>,
+    ) -> Result<(), PersistError> {
         let (mins, ranges) = self.normalizer.to_parts();
         let params: Vec<(Vec<usize>, Vec<f64>)> = self
             .store
@@ -93,20 +166,38 @@ impl TrainedTranad {
             params,
             train_scores: self.train_scores.clone(),
         };
-        std::fs::write(path, saved.to_json().to_string())?;
-        Ok(())
+        let mut json = saved.to_json();
+        if let (Json::Obj(pairs), Some(snap)) = (&mut json, streaming) {
+            pairs.push(("streaming".to_string(), snap.to_json()));
+        }
+        atomic_write(path, &json.to_string())
     }
 
-    /// Loads a detector from a JSON file written by [`TrainedTranad::save`].
+    /// Loads a detector from a JSON file written by [`TrainedTranad::save`]
+    /// (any supported format version; embedded streaming state is ignored —
+    /// use [`TrainedTranad::load_with_streaming`] to recover it).
     pub fn load(path: impl AsRef<Path>) -> Result<TrainedTranad, PersistError> {
+        Ok(Self::load_with_streaming(path)?.0)
+    }
+
+    /// Loads a detector plus the embedded streaming state, if the
+    /// checkpoint carries one. Format-v1 files load with `None`.
+    pub fn load_with_streaming(
+        path: impl AsRef<Path>,
+    ) -> Result<(TrainedTranad, Option<OnlineSnapshot>), PersistError> {
         let text = std::fs::read_to_string(path)?;
-        let saved = SavedModel::from_json(&tranad_json::parse(&text)?)?;
-        if saved.format_version != FORMAT_VERSION {
+        let json = tranad_json::parse(&text)?;
+        let saved = SavedModel::from_json(&json)?;
+        if !(MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&saved.format_version) {
             return Err(PersistError::Corrupt(format!(
-                "format version {} (expected {FORMAT_VERSION})",
+                "format version {} (supported: {MIN_FORMAT_VERSION}..={FORMAT_VERSION})",
                 saved.format_version
             )));
         }
+        let streaming = match json.get("streaming") {
+            Some(v) => Some(OnlineSnapshot::from_json(v)?),
+            None => None,
+        };
         // Rebuild the network: registration order is deterministic, so the
         // freshly initialized store has the same layout as the saved one.
         let mut store = ParamStore::new();
@@ -144,12 +235,13 @@ impl TrainedTranad {
             }
             store.set(id, t);
         }
-        Ok(TrainedTranad {
+        let trained = TrainedTranad {
             store,
             model,
             normalizer: Normalizer::from_parts(saved.normalizer_mins, saved.normalizer_ranges),
             train_scores: saved.train_scores,
-        })
+        };
+        Ok((trained, streaming))
     }
 }
 
@@ -198,12 +290,114 @@ mod tests {
         let path = dir.join("bad_version.json");
         trained.save(&path).unwrap();
         let mut text = std::fs::read_to_string(&path).unwrap();
-        text = text.replace("\"format_version\":1", "\"format_version\":99");
+        text = text.replace("\"format_version\":2", "\"format_version\":99");
         std::fs::write(&path, text).unwrap();
         assert!(matches!(
             TrainedTranad::load(&path),
             Err(PersistError::Corrupt(_))
         ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v1_files_still_load() {
+        // A v1 file is structurally a v2 file without the streaming key and
+        // with format_version 1 — exactly what the pre-v2 writer produced.
+        let (series, config) = toy();
+        let (trained, _) = train(&series, config).unwrap();
+        let dir = std::env::temp_dir().join("tranad_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("v1_model.json");
+        trained.save(&path).unwrap();
+        let text = std::fs::read_to_string(&path)
+            .unwrap()
+            .replace("\"format_version\":2", "\"format_version\":1");
+        std::fs::write(&path, text).unwrap();
+        let (loaded, streaming) = TrainedTranad::load_with_streaming(&path).unwrap();
+        assert!(streaming.is_none(), "v1 files carry no streaming state");
+        assert_eq!(trained.score_series(&series), loaded.score_series(&series));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_checkpoint_is_an_error_never_a_panic_or_partial_load() {
+        let (series, config) = toy();
+        let (trained, _) = train(&series, config).unwrap();
+        let dir = std::env::temp_dir().join("tranad_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn.json");
+        trained.save(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        // Simulate a torn write at every interesting cut point: mid-token,
+        // mid-array and just shy of the closing brace. Each truncation must
+        // surface as a typed error, never a panic or a silently partial
+        // model.
+        for cut in [1, text.len() / 3, text.len() / 2, text.len() - 1] {
+            std::fs::write(&path, &text[..cut]).unwrap();
+            let err = TrainedTranad::load(&path).map(|_| ()).unwrap_err();
+            assert!(
+                matches!(err, PersistError::Json(_) | PersistError::Corrupt(_)),
+                "cut at {cut}: expected Json/Corrupt error, got {err:?}",
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn save_replaces_existing_checkpoint_atomically() {
+        let (series, config) = toy();
+        let (trained, _) = train(&series, config).unwrap();
+        let dir = std::env::temp_dir().join("tranad_persist_test_atomic");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        // Pre-existing garbage at the destination must be replaced whole.
+        std::fs::write(&path, "{not json").unwrap();
+        trained.save(&path).unwrap();
+        TrainedTranad::load(&path).unwrap();
+        // No temp droppings left behind in the checkpoint directory.
+        let stray: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(stray.is_empty(), "temp files left behind: {stray:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn streaming_state_roundtrips_through_v2_checkpoint() {
+        use crate::online::OnlineDetector;
+        use tranad_evt::PotConfig;
+        let (series, config) = toy();
+        let (trained, _) = train(&series, config).unwrap();
+        let mut rng = SignalRng::new(23);
+        let stream: Vec<Vec<f64>> =
+            (0..40).map(|t| vec![(t as f64 / 8.0).sin(), 0.05 * rng.normal()]).collect();
+
+        let mut online = OnlineDetector::new(&trained, PotConfig::default()).unwrap();
+        for point in &stream[..25] {
+            online.push(point).unwrap();
+        }
+        let snap = online.snapshot();
+
+        let dir = std::env::temp_dir().join("tranad_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("with_streaming.json");
+        trained.save_with_streaming(&path, Some(&snap)).unwrap();
+
+        let (loaded, restored_snap) = TrainedTranad::load_with_streaming(&path).unwrap();
+        let restored_snap = restored_snap.expect("v2 checkpoint carries streaming state");
+        assert_eq!(restored_snap, snap);
+        // The restored detector continues the stream bitwise-identically.
+        let mut restored = OnlineDetector::restore(&loaded, &restored_snap).unwrap();
+        for (t, point) in stream[25..].iter().enumerate() {
+            let a = online.push(point).unwrap();
+            let b = restored.push(point).unwrap();
+            assert_eq!(a.dim_labels, b.dim_labels, "t={t}");
+            for (x, y) in a.scores.iter().zip(&b.scores) {
+                assert_eq!(x.to_bits(), y.to_bits(), "t={t}");
+            }
+        }
         std::fs::remove_file(&path).ok();
     }
 

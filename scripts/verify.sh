@@ -20,6 +20,10 @@ echo "==> determinism across thread counts (TRANAD_THREADS=1 vs 8)"
 TRANAD_THREADS=1 cargo test --release -q -p tranad --test determinism
 TRANAD_THREADS=8 cargo test --release -q -p tranad --test determinism
 
+echo "==> serve kill-and-resume smoke (bitwise verdict equality, 1 and 8 threads)"
+TRANAD_THREADS=1 cargo run --release -q -p tranad-serve --bin serve-smoke
+TRANAD_THREADS=8 cargo run --release -q -p tranad-serve --bin serve-smoke
+
 echo "==> trace smoke-run (TRANAD_TRACE JSONL well-formedness)"
 TRACE_TMP="$(mktemp /tmp/tranad_trace.XXXXXX.jsonl)"
 TRANAD_TRACE="$TRACE_TMP" cargo run --release -q -p tranad-bench --bin trace-smoke
