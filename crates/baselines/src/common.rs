@@ -281,11 +281,13 @@ pub fn score_windows(
     f: impl Fn(&Tensor) -> Vec<Vec<f64>> + Sync,
 ) -> Vec<Vec<f64>> {
     let windows = Windows::borrowed(series, window);
-    let all: Vec<usize> = (0..windows.len()).collect();
-    let chunks: Vec<&[usize]> = all.chunks(batch.max(1)).collect();
-    let mut slots: Vec<Vec<Vec<f64>>> = vec![Vec::new(); chunks.len()];
-    pool::parallel_chunks_mut(&mut slots, 1, |i, slot| {
-        slot[0] = f(&windows.batch(chunks[i]));
+    let n = windows.len();
+    let bs = batch.max(1);
+    let mut slots: Vec<Vec<Vec<f64>>> = vec![Vec::new(); n.div_ceil(bs)];
+    pool::parallel_chunks_mut(&mut slots, 1, |ci, slot| {
+        let _fwd = tranad_telemetry::span::enter("infer.forward");
+        let start = ci * bs;
+        slot[0] = f(&windows.batch_range(start, (start + bs).min(n)));
     });
     slots.into_iter().flatten().collect()
 }

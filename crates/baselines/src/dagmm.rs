@@ -18,7 +18,7 @@ use crate::gmm::DiagGmm;
 use tranad_data::{Normalizer, TimeSeries, Windows};
 use tranad_nn::layers::{Activation, FeedForward};
 use tranad_nn::optim::AdamW;
-use tranad_nn::{Ctx, Init, ParamStore};
+use tranad_nn::{Fwd, InferCtx, Init, ParamStore};
 use tranad_tensor::Tensor;
 
 struct DagmmState {
@@ -50,13 +50,11 @@ impl Dagmm {
     /// The feature vector fed to the GMM: latent code plus reconstruction
     /// statistics (relative error and log energy of the window).
     fn features(state: &DagmmState, w: &Tensor) -> Vec<Vec<f64>> {
-        let ctx = Ctx::eval(&state.store);
+        let ctx = InferCtx::new(&state.store);
         let flat = flatten_windows(w);
         let fv = ctx.input(flat.clone());
-        let z = state.encoder.forward(&ctx, &fv);
-        let recon = state.decoder.forward(&ctx, &z);
-        let zv = z.value();
-        let rv = recon.value();
+        let zv = state.encoder.forward(&ctx, &fv);
+        let rv = state.decoder.forward(&ctx, &zv);
         let b = w.shape().dim(0);
         let width = flat.shape().last_dim();
         let latent = zv.shape().last_dim();
@@ -79,14 +77,14 @@ impl Dagmm {
             let feats = Self::features(state, w);
             // Per-dim reconstruction error at the window tail (for
             // diagnosis), offset by the window-level GMM energy.
-            let ctx = Ctx::eval(&state.store);
+            let ctx = InferCtx::new(&state.store);
             let fv = ctx.input(flatten_windows(w));
             let recon = state
                 .decoder
                 .forward(&ctx, &state.encoder.forward(&ctx, &fv));
             let b = w.shape().dim(0);
             let k = w.shape().dim(1);
-            let r3 = recon.value().reshape([b, k, state.dims]);
+            let r3 = recon.reshape([b, k, state.dims]);
             let errs = last_row_sq_error(&r3, w);
             feats
                 .iter()
@@ -159,10 +157,11 @@ impl Detector for Dagmm {
             dims,
             energy_scale: 0.0,
         };
-        let all: Vec<usize> = (0..windows.len()).collect();
-        let mut feats: Vec<Vec<f64>> = Vec::with_capacity(windows.len());
-        for chunk in all.chunks(cfg.batch) {
-            feats.extend(Self::features(&state, &windows.batch(chunk)));
+        let n = windows.len();
+        let mut feats: Vec<Vec<f64>> = Vec::with_capacity(n);
+        for start in (0..n).step_by(cfg.batch) {
+            let batch = windows.batch_range(start, (start + cfg.batch).min(n));
+            feats.extend(Self::features(&state, &batch));
         }
         state.gmm = DiagGmm::fit(&feats, self.components, 25, cfg.seed ^ 0x63);
         // Calibrate the energy contribution so nominal energies map near 0

@@ -13,7 +13,7 @@ use tranad_telemetry::Recorder;
 use tranad_data::{Normalizer, TimeSeries, Windows};
 use tranad_nn::layers::{Activation, FeedForward};
 use tranad_nn::optim::AdamW;
-use tranad_nn::{Ctx, Init, ParamStore};
+use tranad_nn::{Fwd, InferCtx, Init, ParamStore};
 use tranad_tensor::{Tensor, Var};
 
 struct GdnState {
@@ -64,11 +64,11 @@ impl Gdn {
         let k = self.config.window;
         let (history, target) = split_history(w, k, state.dims);
         let b = w.shape().dim(0);
-        let ctx = Ctx::eval(&state.store);
+        let ctx = InferCtx::new(&state.store);
         let mut errors = vec![vec![0.0; state.dims]; b];
         for d in 0..state.dims {
             let input = Self::gather(&history, &state.neighbors[d], state.dims);
-            let pred = state.forecasters[d].forward(&ctx, &ctx.input(input)).value();
+            let pred = state.forecasters[d].forward(&ctx, &ctx.input(input));
             for (bi, row) in errors.iter_mut().enumerate() {
                 let e = pred.data()[bi] - target.data()[bi * state.dims + d];
                 row[d] = e * e;

@@ -10,7 +10,7 @@ use tranad_evt::{Ndt, NdtConfig};
 use tranad_nn::layers::Linear;
 use tranad_nn::optim::AdamW;
 use tranad_nn::rnn::LstmCell;
-use tranad_nn::{Ctx, Init, ParamStore};
+use tranad_nn::{Fwd, InferCtx, Init, ParamStore};
 use tranad_telemetry::Recorder;
 use tranad_tensor::Tensor;
 
@@ -42,13 +42,13 @@ impl LstmNdt {
         let normalized = state.normalizer.transform(series);
         let k = self.config.window;
         score_windows(&normalized, k, self.config.batch, |w| {
-            let ctx = Ctx::eval(&state.store);
+            let ctx = InferCtx::new(&state.store);
             let d = w.shape();
             let (b, m) = (d.dim(0), d.dim(2));
             let (history, target) = split_history(w, k, m);
             let hs = state.lstm.run(&ctx, &ctx.input(history));
-            let last = last_hidden(&hs.value(), b, k - 1, state.lstm.hidden_size());
-            let pred = state.head.forward(&ctx, &ctx.input(last)).value();
+            let last = last_hidden(&hs, b, k - 1, state.lstm.hidden_size());
+            let pred = state.head.forward(&ctx, &ctx.input(last));
             (0..b)
                 .map(|bi| {
                     (0..m)

@@ -15,8 +15,8 @@ use tranad_data::{Normalizer, SignalRng, TimeSeries, Windows};
 use tranad_nn::layers::{Activation, FeedForward, Linear};
 use tranad_nn::optim::AdamW;
 use tranad_nn::rnn::LstmCell;
-use tranad_nn::{Ctx, Init, ParamStore};
-use tranad_tensor::{Tensor, Var};
+use tranad_nn::{Ctx, Fwd, InferCtx, Init, ParamStore, Value};
+use tranad_tensor::Tensor;
 
 struct MadGanState {
     store: ParamStore,
@@ -43,19 +43,19 @@ impl MadGan {
         MadGan { config, lambda: 0.7, state: None }
     }
 
-    fn last_hidden(lstm: &LstmCell, ctx: &Ctx, w: &Var) -> Var {
+    fn last_hidden<F: Fwd>(lstm: &LstmCell, ctx: &F, w: &F::V) -> F::V {
         let d = w.shape();
         let (b, k) = (d.dim(0), d.dim(1));
         let h = lstm.hidden_size();
         lstm.run(ctx, w).reshape([b, k * h]).narrow_last((k - 1) * h, h)
     }
 
-    fn reconstruct(state: &MadGanState, ctx: &Ctx, w: &Var) -> Var {
+    fn reconstruct<F: Fwd>(state: &MadGanState, ctx: &F, w: &F::V) -> F::V {
         let latent = Self::last_hidden(&state.enc_lstm, ctx, w);
         state.dec.forward(ctx, &latent)
     }
 
-    fn discriminate(state: &MadGanState, ctx: &Ctx, w: &Var) -> Var {
+    fn discriminate<F: Fwd>(state: &MadGanState, ctx: &F, w: &F::V) -> F::V {
         let latent = Self::last_hidden(&state.disc_lstm, ctx, w);
         state.disc_head.forward(ctx, &latent).sigmoid()
     }
@@ -65,13 +65,12 @@ impl MadGan {
         let k = self.config.window;
         let lambda = self.lambda;
         score_windows(&normalized, k, self.config.batch, |w| {
-            let ctx = Ctx::eval(&state.store);
+            let ctx = InferCtx::new(&state.store);
             let b = w.shape().dim(0);
             let wv = ctx.input(w.clone());
             let recon = Self::reconstruct(state, &ctx, &wv)
-                .value()
                 .reshape([b, k, state.dims]);
-            let d_out = Self::discriminate(state, &ctx, &wv).value();
+            let d_out = Self::discriminate(state, &ctx, &wv);
             let errs = last_row_sq_error(&recon, w);
             errs.into_iter()
                 .enumerate()

@@ -18,7 +18,7 @@ use tranad_telemetry::Recorder;
 use tranad_data::{Normalizer, TimeSeries, Windows};
 use tranad_nn::layers::{Activation, FeedForward};
 use tranad_nn::optim::AdamW;
-use tranad_nn::{Ctx, Init, ParamStore};
+use tranad_nn::{Fwd, InferCtx, Init, ParamStore};
 use tranad_tensor::Tensor;
 
 struct MscredState {
@@ -108,8 +108,8 @@ impl Mscred {
                 ));
             }
             let input = Tensor::from_vec(rows, [b, sig_len]);
-            let ctx = Ctx::eval(&state.store);
-            let recon = state.autoencoder.forward(&ctx, &ctx.input(input.clone())).value();
+            let ctx = InferCtx::new(&state.store);
+            let recon = state.autoencoder.forward(&ctx, &ctx.input(input.clone()));
             // Residual per channel: mean squared residual over its rows in
             // every scale, then spread back to the sensors in the channel.
             (0..b)

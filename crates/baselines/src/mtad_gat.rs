@@ -15,8 +15,7 @@ use tranad_nn::attention::scaled_dot_attention;
 use tranad_nn::layers::Linear;
 use tranad_nn::optim::AdamW;
 use tranad_nn::rnn::GruCell;
-use tranad_nn::{Ctx, Init, ParamStore};
-use tranad_tensor::Var;
+use tranad_nn::{Fwd, InferCtx, Init, ParamStore, Value};
 
 struct MtadGatState {
     store: ParamStore,
@@ -43,7 +42,7 @@ impl MtadGat {
 
     /// The network: feature attention + time attention on the history,
     /// concatenated with the input, GRU over time, linear forecast head.
-    fn forecast(state: &MtadGatState, ctx: &Ctx, history: &Var) -> Var {
+    fn forecast<F: Fwd>(state: &MtadGatState, ctx: &F, history: &F::V) -> F::V {
         let d = history.shape();
         let (b, k, m) = (d.dim(0), d.dim(1), d.dim(2));
         // Feature-oriented attention: tokens are dimensions, embeddings are
@@ -55,7 +54,7 @@ impl MtadGat {
         let tq = state.time_proj.forward(ctx, history);
         let time_attended = scaled_dot_attention(&tq, &tq, history, None);
         // Concatenate [x ; feat_att ; time_att] -> [b, k, 3m], run the GRU.
-        let enriched = Var::concat_last(&[history.clone(), feat_attended, time_attended]);
+        let enriched = Value::concat_last(&[history.clone(), feat_attended, time_attended]);
         let hs = state.gru.run(ctx, &enriched);
         let h = state.gru.hidden_size();
         let last = hs.reshape([b, k * h]).narrow_last((k - 1) * h, h);
@@ -67,9 +66,9 @@ impl MtadGat {
         let normalized = state.normalizer.transform(series);
         let k = self.config.window;
         score_windows(&normalized, k, self.config.batch, |w| {
-            let ctx = Ctx::eval(&state.store);
+            let ctx = InferCtx::new(&state.store);
             let (history, target) = crate::common::split_history(w, k, state.dims);
-            let pred = Self::forecast(state, &ctx, &ctx.input(history)).value();
+            let pred = Self::forecast(state, &ctx, &ctx.input(history));
             let b = w.shape().dim(0);
             (0..b)
                 .map(|bi| {

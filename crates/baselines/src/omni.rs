@@ -13,8 +13,8 @@ use tranad_data::{Normalizer, SignalRng, TimeSeries, Windows};
 use tranad_nn::layers::{Activation, FeedForward, Linear};
 use tranad_nn::optim::AdamW;
 use tranad_nn::rnn::GruCell;
-use tranad_nn::{Ctx, Init, ParamStore};
-use tranad_tensor::{Tensor, Var};
+use tranad_nn::{Fwd, InferCtx, Init, ParamStore, Value};
+use tranad_tensor::Tensor;
 
 struct OmniState {
     store: ParamStore,
@@ -42,7 +42,7 @@ impl OmniAnomaly {
     }
 
     /// Encodes windows to `(mu, logvar)` via the GRU's final hidden state.
-    fn encode(state: &OmniState, ctx: &Ctx, w: &Tensor) -> (Var, Var) {
+    fn encode<F: Fwd>(state: &OmniState, ctx: &F, w: &Tensor) -> (F::V, F::V) {
         let d = w.shape();
         let (b, k) = (d.dim(0), d.dim(1));
         let h = state.gru.hidden_size();
@@ -59,11 +59,11 @@ impl OmniAnomaly {
         let k = self.config.window;
         score_windows(&normalized, k, self.config.batch, |w| {
             // Deterministic inference: decode from the latent mean.
-            let ctx = Ctx::eval(&state.store);
+            let ctx = InferCtx::new(&state.store);
             let (mu, _) = Self::encode(state, &ctx, w);
             let recon = state.decoder.forward(&ctx, &mu);
             let b = w.shape().dim(0);
-            let r3 = recon.value().reshape([b, k, state.dims]);
+            let r3 = recon.reshape([b, k, state.dims]);
             last_row_sq_error(&r3, w)
         })
     }

@@ -16,8 +16,7 @@ use std::time::Instant;
 use tranad_data::{Normalizer, SignalRng, TimeSeries, Windows};
 use tranad_nn::layers::{Activation, FeedForward};
 use tranad_nn::optim::AdamW;
-use tranad_nn::{Ctx, Init, ParamStore};
-use tranad_tensor::Var;
+use tranad_nn::{Ctx, Fwd, InferCtx, Init, ParamStore};
 
 struct UsadState {
     store: ParamStore,
@@ -42,11 +41,7 @@ impl Usad {
         Usad { config, state: None }
     }
 
-    fn forward(
-        state: &UsadState,
-        ctx: &Ctx,
-        flat: &Var,
-    ) -> (Var, Var, Var) {
+    fn forward<F: Fwd>(state: &UsadState, ctx: &F, flat: &F::V) -> (F::V, F::V, F::V) {
         let z = state.encoder.forward(ctx, flat);
         let ae1 = state.decoder1.forward(ctx, &z);
         let ae2 = state.decoder2.forward(ctx, &z);
@@ -60,15 +55,14 @@ impl Usad {
         let normalized = state.normalizer.transform(series);
         let k = self.config.window;
         score_windows(&normalized, k, self.config.batch, |w| {
-            let ctx = Ctx::eval(&state.store);
-            let wv = ctx.input(w.clone());
+            let ctx = InferCtx::new(&state.store);
             let flat = ctx.input(flatten_windows(w));
             let (ae1, _, ae2_ae1) = Self::forward(state, &ctx, &flat);
             let b = w.shape().dim(0);
-            let r1 = ae1.value().reshape([b, k, state.dims]);
-            let r2 = ae2_ae1.value().reshape([b, k, state.dims]);
-            let e1 = last_row_sq_error(&r1, &w.clone());
-            let e2 = last_row_sq_error(&r2, &wv.value());
+            let r1 = ae1.reshape([b, k, state.dims]);
+            let r2 = ae2_ae1.reshape([b, k, state.dims]);
+            let e1 = last_row_sq_error(&r1, w);
+            let e2 = last_row_sq_error(&r2, w);
             e1.iter()
                 .zip(&e2)
                 .map(|(a, b)| a.iter().zip(b).map(|(x, y)| 0.5 * x + 0.5 * y).collect())

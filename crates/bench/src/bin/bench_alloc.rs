@@ -1,14 +1,18 @@
-//! Reports allocator traffic per TranAD training step.
+//! Reports allocator traffic per TranAD training step and per online push.
 //!
 //! Build with the counting allocator: `cargo run --release -p tranad-bench
 //! --features count-alloc --bin bench-alloc`. A first training run warms the
 //! buffer pool; the second run is measured, so the numbers reflect the
-//! steady state a long training job sits in.
+//! steady state a long training job sits in. Budgets live in
+//! `results/alloc_budget.json` so the gate and the recorded numbers evolve
+//! together.
 
 use tranad::config::TranadConfig;
 use tranad::train::{train, train_with};
+use tranad::{OnlineState, PotConfig};
 use tranad_bench::alloc_count::{self, CountingAlloc};
-use tranad_data::{SignalRng, TimeSeries};
+use tranad_data::{SignalRng, TimeSeries, Windows};
+use tranad_nn::Ctx;
 use tranad_telemetry::{MemorySink, Recorder};
 
 #[global_allocator]
@@ -37,7 +41,20 @@ fn measure(series: &TimeSeries, config: TranadConfig, rec: &Recorder) -> (u64, u
     (allocs, bytes, steps)
 }
 
+/// Reads one integer budget out of `results/alloc_budget.json`.
+fn budget(doc: &tranad_json::Json, key: &str) -> u64 {
+    doc.get(key)
+        .and_then(|j| j.as_f64())
+        .unwrap_or_else(|| panic!("results/alloc_budget.json is missing `{key}`")) as u64
+}
+
 fn main() {
+    let budget_text = std::fs::read_to_string("results/alloc_budget.json")
+        .expect("run from the workspace root: results/alloc_budget.json not found");
+    let budgets = tranad_json::parse(&budget_text).expect("invalid alloc_budget.json");
+    let train_budget = budget(&budgets, "train_allocs_per_step");
+    let push_budget = budget(&budgets, "online_allocs_per_push");
+
     let series = toy_series(1500, 4, 1);
     let config = TranadConfig {
         epochs: 4,
@@ -93,8 +110,63 @@ fn main() {
     // the training step (PR2 pinned the instrumented-free hot path at 486
     // allocations/step on this exact workload).
     assert!(
-        allocs / steps <= 486,
-        "disabled telemetry leaks allocations into the hot path: {} allocs/step (budget 486)",
-        allocs / steps
+        allocs / steps <= train_budget,
+        "disabled telemetry leaks allocations into the hot path: {} allocs/step (budget {})",
+        allocs / steps,
+        train_budget
+    );
+
+    // ---- Online serving: allocations per push on the tape-free path ----
+    let online_series = toy_series(400, 4, 2);
+    let online_config = TranadConfig { epochs: 2, patience: 10, ..TranadConfig::default() };
+    let (trained, _) = train(&online_series, online_config).expect("online training");
+    let stream = toy_series(576, 4, 3);
+
+    let mut state = OnlineState::new(&trained, PotConfig::default()).expect("SPOT init");
+    // Warm-up: fill the history ring and the thread-local buffer pool so
+    // the measurement reflects the steady state a long-lived stream sits in.
+    for t in 0..64 {
+        state.push(&trained, stream.row(t)).expect("warm-up push");
+    }
+    let before = alloc_count::counts();
+    for t in 64..stream.len() {
+        state.push(&trained, stream.row(t)).expect("measured push");
+    }
+    let (push_allocs, push_bytes) = alloc_count::delta(before);
+    let pushes = (stream.len() - 64) as u64;
+
+    // Taped reference: the forward pass the pre-refactor push ran (tape
+    // nodes, backward closures, a `Var` per op) on the same window shapes.
+    let cfg = *trained.model.config();
+    let normalized = trained.normalizer.transform(&stream);
+    let windows = Windows::borrowed(&normalized, cfg.window);
+    let n = windows.len();
+    let w_t = windows.batch_range(n - 1, n);
+    let c_t = windows.context_batch_range(n - 1, n, cfg.context);
+    let before = alloc_count::counts();
+    for _ in 0..pushes {
+        let ctx = Ctx::eval(&trained.store);
+        let w = ctx.input(w_t.clone());
+        let c = ctx.input(c_t.clone());
+        let out = trained.model.forward(&ctx, &w, &c);
+        std::hint::black_box(out.o1.value().data()[0]);
+    }
+    let (taped_allocs, _) = alloc_count::delta(before);
+
+    println!(
+        "online push (tape-free): {} allocations/push, {} bytes/push; taped forward: {} allocations/push",
+        push_allocs / pushes,
+        push_bytes / pushes,
+        taped_allocs / pushes
+    );
+    assert!(
+        push_allocs / pushes <= push_budget,
+        "tape-free online push regressed: {} allocs/push (budget {})",
+        push_allocs / pushes,
+        push_budget
+    );
+    assert!(
+        push_allocs < taped_allocs,
+        "tape-free push ({push_allocs} allocs) must stay below the taped forward ({taped_allocs} allocs)"
     );
 }

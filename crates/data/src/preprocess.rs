@@ -152,6 +152,20 @@ impl<'a> Windows<'a> {
         out
     }
 
+    /// A batch of windows for the contiguous timestamp range `start..end` —
+    /// equivalent to `batch(&[start, start+1, ..])` without materializing
+    /// the index list. Shape `[end - start, k, dims]`.
+    pub fn batch_range(&self, start: usize, end: usize) -> Tensor {
+        let m = self.series.dims();
+        let stride = self.k * m;
+        let mut out = Tensor::zeros([end - start, self.k, m]);
+        let data = out.data_mut();
+        for (t, plane) in (start..end).zip(data.chunks_exact_mut(stride)) {
+            self.fill(t, self.k, plane);
+        }
+        out
+    }
+
     /// The context slice `C_t`: the last `max_context` timestamps up to and
     /// including `t`, replication-padded at the start like windows. Shape
     /// `[max_context, dims]`.
@@ -169,6 +183,19 @@ impl<'a> Windows<'a> {
         let mut out = Tensor::zeros([ts.len(), max_context, m]);
         let data = out.data_mut();
         for (&t, plane) in ts.iter().zip(data.chunks_exact_mut(stride)) {
+            self.fill(t, max_context, plane);
+        }
+        out
+    }
+
+    /// A batch of contexts for the contiguous timestamp range `start..end`.
+    /// Shape `[end - start, max_context, dims]`.
+    pub fn context_batch_range(&self, start: usize, end: usize, max_context: usize) -> Tensor {
+        let m = self.series.dims();
+        let stride = max_context * m;
+        let mut out = Tensor::zeros([end - start, max_context, m]);
+        let data = out.data_mut();
+        for (t, plane) in (start..end).zip(data.chunks_exact_mut(stride)) {
             self.fill(t, max_context, plane);
         }
         out
@@ -279,5 +306,21 @@ mod tests {
             owned.batch(&[0, 2, 4]).data(),
             borrowed.batch(&[0, 2, 4]).data()
         );
+    }
+
+    #[test]
+    fn range_batches_match_index_batches() {
+        let ts = TimeSeries::from_columns(&[vec![1.0, 2.0, 3.0, 4.0, 5.0], vec![6.0, 7.0, 8.0, 9.0, 10.0]]);
+        let ws = Windows::new(ts, 3);
+        let idx: Vec<usize> = (1..4).collect();
+        let by_range = ws.batch_range(1, 4);
+        let by_index = ws.batch(&idx);
+        assert_eq!(by_range.shape().dims(), by_index.shape().dims());
+        assert_eq!(by_range.data(), by_index.data());
+        let c_range = ws.context_batch_range(1, 4, 4);
+        let c_index = ws.context_batch(&idx, 4);
+        assert_eq!(c_range.shape().dims(), c_index.shape().dims());
+        assert_eq!(c_range.data(), c_index.data());
+        assert_eq!(ws.batch_range(2, 2).shape().dims(), &[0, 3, 2]);
     }
 }

@@ -8,7 +8,11 @@ use std::collections::HashMap;
 use tranad_tensor::{Rng, Tape, Tensor, Var};
 
 /// One forward/backward pass worth of state.
-pub struct Ctx<'a> {
+///
+/// This is the **taped** implementation of [`crate::fwd::Fwd`]: every op
+/// records a tape node so `backward()` can run. The tape-free counterpart
+/// for serving is [`crate::fwd::InferCtx`].
+pub struct TrainCtx<'a> {
     tape: Tape,
     store: &'a ParamStore,
     leaves: RefCell<HashMap<usize, Var>>,
@@ -17,10 +21,15 @@ pub struct Ctx<'a> {
     pub training: bool,
 }
 
-impl<'a> Ctx<'a> {
+/// Historical name for [`TrainCtx`] — the taped context predates the
+/// taped/tape-free split and most call sites (training, tests, docs) still
+/// read naturally as `Ctx`.
+pub type Ctx<'a> = TrainCtx<'a>;
+
+impl<'a> TrainCtx<'a> {
     /// A training-mode context (dropout active) with a seeded RNG.
     pub fn train(store: &'a ParamStore, seed: u64) -> Self {
-        Ctx {
+        TrainCtx {
             tape: Tape::new(),
             store,
             leaves: RefCell::new(HashMap::new()),

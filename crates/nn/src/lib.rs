@@ -11,6 +11,11 @@
 //! tape leaves, and after `backward()` the context hands gradients back as
 //! `(ParamId, Tensor)` pairs for [`optim::AdamW`] / [`optim::Sgd`].
 //!
+//! Layers are written once against the [`Fwd`] trait and run in two modes:
+//! taped through [`TrainCtx`] (the historical `Ctx`) for training, or
+//! tape-free through [`InferCtx`] for serving — plain tensor kernels, no
+//! tape nodes or backward closures, bitwise-identical outputs (see [`fwd`]).
+//!
 //! ```
 //! use tranad_nn::{Ctx, Init, ParamStore};
 //! use tranad_nn::layers::Linear;
@@ -37,6 +42,7 @@
 
 pub mod attention;
 pub mod ctx;
+pub mod fwd;
 pub mod layers;
 pub mod maml;
 pub mod optim;
@@ -44,5 +50,6 @@ pub mod param;
 pub mod rnn;
 pub mod transformer;
 
-pub use ctx::Ctx;
+pub use ctx::{Ctx, TrainCtx};
+pub use fwd::{Fwd, InferCtx, Value};
 pub use param::{Init, ParamId, ParamStore};

@@ -1,10 +1,10 @@
 //! Recurrent cells (LSTM, GRU) needed by the paper's recurrent baselines
 //! (LSTM-NDT, OmniAnomaly, MAD-GAN, CAE-M, DAGMM's estimation network).
 
-use crate::ctx::Ctx;
+use crate::fwd::{Fwd, Value};
 use crate::layers::Linear;
 use crate::param::{Init, ParamStore};
-use tranad_tensor::{Tensor, Var};
+use tranad_tensor::Tensor;
 
 /// A single LSTM cell with fused gate projections.
 pub struct LstmCell {
@@ -29,7 +29,7 @@ impl LstmCell {
     }
 
     /// Zero-initialized `(h, c)` state for a batch of size `b`.
-    pub fn zero_state(&self, ctx: &Ctx, b: usize) -> (Var, Var) {
+    pub fn zero_state<F: Fwd>(&self, ctx: &F, b: usize) -> (F::V, F::V) {
         (
             ctx.input(Tensor::zeros([b, self.hidden])),
             ctx.input(Tensor::zeros([b, self.hidden])),
@@ -37,7 +37,7 @@ impl LstmCell {
     }
 
     /// One step: `x` is `[b, input]`, state is `([b, h], [b, h])`.
-    pub fn step(&self, ctx: &Ctx, x: &Var, state: (&Var, &Var)) -> (Var, Var) {
+    pub fn step<F: Fwd>(&self, ctx: &F, x: &F::V, state: (&F::V, &F::V)) -> (F::V, F::V) {
         let (h, c) = state;
         let gates = self.wx.forward(ctx, x).add(&self.wh.forward(ctx, h));
         let hd = self.hidden;
@@ -52,7 +52,7 @@ impl LstmCell {
 
     /// Runs the cell over a `[b, len, input]` sequence, returning the hidden
     /// state at every step as `[b, len, hidden]`.
-    pub fn run(&self, ctx: &Ctx, xs: &Var) -> Var {
+    pub fn run<F: Fwd>(&self, ctx: &F, xs: &F::V) -> F::V {
         let dims = xs.shape();
         assert_eq!(dims.rank(), 3, "LstmCell::run expects [b, len, input]");
         let (b, len, input) = (dims.dim(0), dims.dim(1), dims.dim(2));
@@ -92,12 +92,12 @@ impl GruCell {
     }
 
     /// Zero-initialized hidden state for a batch of size `b`.
-    pub fn zero_state(&self, ctx: &Ctx, b: usize) -> Var {
+    pub fn zero_state<F: Fwd>(&self, ctx: &F, b: usize) -> F::V {
         ctx.input(Tensor::zeros([b, self.hidden]))
     }
 
     /// One step: `x` is `[b, input]`, `h` is `[b, hidden]`.
-    pub fn step(&self, ctx: &Ctx, x: &Var, h: &Var) -> Var {
+    pub fn step<F: Fwd>(&self, ctx: &F, x: &F::V, h: &F::V) -> F::V {
         let gx = self.wx.forward(ctx, x);
         let gh = self.wh.forward(ctx, h);
         let hd = self.hidden;
@@ -117,7 +117,7 @@ impl GruCell {
 
     /// Runs the cell over a `[b, len, input]` sequence, returning hidden
     /// states `[b, len, hidden]`.
-    pub fn run(&self, ctx: &Ctx, xs: &Var) -> Var {
+    pub fn run<F: Fwd>(&self, ctx: &F, xs: &F::V) -> F::V {
         let dims = xs.shape();
         assert_eq!(dims.rank(), 3, "GruCell::run expects [b, len, input]");
         let (b, len, input) = (dims.dim(0), dims.dim(1), dims.dim(2));
@@ -134,22 +134,23 @@ impl GruCell {
 
 /// Extracts timestep `t` of a `[b, len, d]` sequence as `[b, d]`,
 /// differentiably (reshape + narrow trick on the flattened time axis).
-fn slice_time(_ctx: &Ctx, xs: &Var, b: usize, len: usize, d: usize, t: usize) -> Var {
+fn slice_time<F: Fwd>(_ctx: &F, xs: &F::V, b: usize, len: usize, d: usize, t: usize) -> F::V {
     // [b, len, d] -> [b, len*d] -> narrow -> [b, d]
     xs.reshape([b, len * d]).narrow_last(t * d, d)
 }
 
 /// Stacks per-timestep `[b, 1, h]` outputs into `[b, len, h]`.
-fn stack_time(outputs: &[Var], b: usize, len: usize, h: usize) -> Var {
+fn stack_time<V: Value>(outputs: &[V], b: usize, len: usize, h: usize) -> V {
     // concat over the last dim of [b, 1, h] views flattened to [b, h] each,
     // then reshape back: [b, len*h] -> [b, len, h]
-    let flat: Vec<Var> = outputs.iter().map(|o| o.reshape([b, h])).collect();
-    Var::concat_last(&flat).reshape([b, len, h])
+    let flat: Vec<V> = outputs.iter().map(|o| o.reshape([b, h])).collect();
+    Value::concat_last(&flat).reshape([b, len, h])
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ctx::Ctx;
 
     fn setup() -> (ParamStore, Init) {
         (ParamStore::new(), Init::with_seed(0))

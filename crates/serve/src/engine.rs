@@ -60,7 +60,11 @@ pub struct BatchReport {
     pub checkpoint: Option<PathBuf>,
 }
 
-/// One served stream: its bounded input queue and streaming state.
+/// One served stream: its bounded input queue and streaming state. The
+/// [`OnlineState`] owns the stream's reusable forward workspace (window and
+/// context staging tensors), so scoring a stream across many batches runs
+/// tape-free with no per-point staging allocations — the slot IS the
+/// per-stream workspace, kept alive for the engine's lifetime.
 struct StreamSlot {
     name: String,
     state: OnlineState,
@@ -208,9 +212,11 @@ impl Engine {
     }
 
     /// Drains up to `batch_max` queued points per stream and scores all
-    /// streams in parallel over the `tranad-tensor` pool. Returns the
-    /// verdicts plus what the automatic checkpoint policy did. Verdict
-    /// values are independent of the thread count.
+    /// streams in parallel over the `tranad-tensor` pool. Scoring runs
+    /// tape-free (`InferCtx`) into each stream's resident workspace, with
+    /// bitwise-identical verdicts to the taped path. Returns the verdicts
+    /// plus what the automatic checkpoint policy did. Verdict values are
+    /// independent of the thread count.
     pub fn run_batch(&mut self) -> Result<BatchReport, ServeError> {
         let _scope = self.rec.span_scope();
         let _span = tranad_telemetry::span::enter("serve.batch");

@@ -77,6 +77,13 @@ impl Buf {
         }
     }
 
+    /// True if this handle is the only owner of the allocation, i.e. a
+    /// `make_mut` would write in place without copying. Takes `&mut self` so
+    /// the answer cannot be invalidated by a concurrent clone of this handle.
+    pub(crate) fn is_unique(&mut self) -> bool {
+        Arc::get_mut(&mut self.arc).is_some()
+    }
+
     /// True if both handles share one allocation (diagnostics / tests).
     pub fn ptr_eq(&self, other: &Buf) -> bool {
         Arc::ptr_eq(&self.arc, &other.arc)

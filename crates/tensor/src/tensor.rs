@@ -385,13 +385,24 @@ impl Tensor {
     /// - `[b, n, k] x [k, m]` -> `[b, n, m]` (shared rhs)
     /// - `[b, n, k] x [b, k, m]` -> `[b, n, m]` (batched)
     pub fn matmul(&self, rhs: &Tensor) -> Tensor {
+        let mut out = Tensor::uninit(Shape::scalar());
+        self.matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// [`Tensor::matmul`] writing into a caller-provided tensor. `out`'s
+    /// storage is reused in place when it is uniquely owned and already the
+    /// right element count; otherwise a pooled buffer is swapped in. Results
+    /// are bitwise identical to the allocating form (same kernels, same
+    /// summation order) — this only changes where the output lives.
+    pub fn matmul_into(&self, rhs: &Tensor, out: &mut Tensor) {
         match (self.shape.rank(), rhs.shape.rank()) {
             (2, 2) => {
                 let (n, k) = (self.shape.dim(0), self.shape.dim(1));
                 let (k2, m) = (rhs.shape.dim(0), rhs.shape.dim(1));
                 assert_eq!(k, k2, "matmul inner dim: {} vs {}", self.shape, rhs.shape);
-                let mut out = Tensor::zeros([n, m]);
-                let od = out.data.make_mut();
+                let od = take_out(out, Shape::new([n, m]));
+                od.fill(0.0); // the kernel accumulates
                 if n * k * m < MATMUL_CUTOFF {
                     matmul_kernel(&self.data, &rhs.data, od, n, k, m);
                 } else {
@@ -411,33 +422,23 @@ impl Tensor {
                         );
                     });
                 }
-                out
             }
             (3, 2) => {
                 let (b, n, k) = (self.shape.dim(0), self.shape.dim(1), self.shape.dim(2));
                 let (k2, m) = (rhs.shape.dim(0), rhs.shape.dim(1));
                 assert_eq!(k, k2, "matmul inner dim: {} vs {}", self.shape, rhs.shape);
-                let mut out = Tensor::zeros([b, n, m]);
-                batched_matmul(&self.data, None, out.data.make_mut(), b, n, k, m, &rhs.data);
-                out
+                let od = take_out(out, Shape::new([b, n, m]));
+                od.fill(0.0);
+                batched_matmul(&self.data, None, od, b, n, k, m, &rhs.data);
             }
             (3, 3) => {
                 let (b, n, k) = (self.shape.dim(0), self.shape.dim(1), self.shape.dim(2));
                 let (b2, k2, m) = (rhs.shape.dim(0), rhs.shape.dim(1), rhs.shape.dim(2));
                 assert_eq!(b, b2, "matmul batch dim: {} vs {}", self.shape, rhs.shape);
                 assert_eq!(k, k2, "matmul inner dim: {} vs {}", self.shape, rhs.shape);
-                let mut out = Tensor::zeros([b, n, m]);
-                batched_matmul(
-                    &self.data,
-                    Some(k * m),
-                    out.data.make_mut(),
-                    b,
-                    n,
-                    k,
-                    m,
-                    &rhs.data,
-                );
-                out
+                let od = take_out(out, Shape::new([b, n, m]));
+                od.fill(0.0);
+                batched_matmul(&self.data, Some(k * m), od, b, n, k, m, &rhs.data);
             }
             _ => panic!(
                 "unsupported matmul ranks: {} x {}",
@@ -452,9 +453,23 @@ impl Tensor {
     /// the unfused `matmul` → broadcast-add → `map` chain while recording a
     /// single tape node and allocating a single output.
     pub fn matmul_bias_act(&self, w: &Tensor, bias: Option<&Tensor>, act: Act) -> Tensor {
-        let mut out = self.matmul(w);
+        let mut out = Tensor::uninit(Shape::scalar());
+        self.matmul_bias_act_into(w, bias, act, &mut out);
+        out
+    }
+
+    /// [`Tensor::matmul_bias_act`] writing into a caller-provided tensor
+    /// (see [`Tensor::matmul_into`] for the reuse contract).
+    pub fn matmul_bias_act_into(
+        &self,
+        w: &Tensor,
+        bias: Option<&Tensor>,
+        act: Act,
+        out: &mut Tensor,
+    ) {
+        self.matmul_into(w, out);
         if bias.is_none() && act == Act::Identity {
-            return out;
+            return;
         }
         let m = out.shape.last_dim();
         if let Some(b) = bias {
@@ -468,7 +483,6 @@ impl Tensor {
             };
             *o = act.apply(pre);
         }
-        out
     }
 
     /// Fused `(self @ rhs^T) * scale` without materializing the transpose.
@@ -477,6 +491,14 @@ impl Tensor {
     /// `matmul(rhs.transpose())`, so results match the unfused chain
     /// bitwise; batched planes run in parallel above the work cutoff.
     pub fn matmul_nt_scaled(&self, rhs: &Tensor, scale: f64) -> Tensor {
+        let mut out = Tensor::uninit(Shape::scalar());
+        self.matmul_nt_scaled_into(rhs, scale, &mut out);
+        out
+    }
+
+    /// [`Tensor::matmul_nt_scaled`] writing into a caller-provided tensor
+    /// (see [`Tensor::matmul_into`] for the reuse contract).
+    pub fn matmul_nt_scaled_into(&self, rhs: &Tensor, scale: f64, out: &mut Tensor) {
         let rank = self.shape.rank();
         assert_eq!(rank, rhs.shape.rank(), "matmul_nt rank: {} vs {}", self.shape, rhs.shape);
         assert!(rank == 2 || rank == 3, "matmul_nt supports rank 2 or 3, got {}", self.shape);
@@ -492,12 +514,12 @@ impl Tensor {
         };
         assert_eq!(b, b2, "matmul_nt batch dim: {} vs {}", self.shape, rhs.shape);
         assert_eq!(k, k2, "matmul_nt inner dim: {} vs {}", self.shape, rhs.shape);
-        let mut out = if rank == 2 {
-            Tensor::uninit(Shape::new([n, m]))
+        let out_shape = if rank == 2 {
+            Shape::new([n, m])
         } else {
-            Tensor::uninit(Shape::new([b, n, m]))
+            Shape::new([b, n, m])
         };
-        let od = out.data.make_mut();
+        let od = take_out(out, out_shape);
         let plane = n * m;
         let kernel_one = |bi: usize, dst: &mut [f64]| {
             matmul_nt_kernel(
@@ -519,7 +541,6 @@ impl Tensor {
                 kernel_one(start / plane, chunk);
             });
         }
-        out
     }
 
     /// Swaps the last two dimensions, materializing the result. Batched
@@ -555,10 +576,17 @@ impl Tensor {
     /// Softmax over the last dimension. Rows are independent, so row blocks
     /// run in parallel above the size cutoff.
     pub fn softmax_last(&self) -> Tensor {
+        let mut out = Tensor::uninit(Shape::scalar());
+        self.softmax_last_into(&mut out);
+        out
+    }
+
+    /// [`Tensor::softmax_last`] writing into a caller-provided tensor
+    /// (see [`Tensor::matmul_into`] for the reuse contract).
+    pub fn softmax_last_into(&self, out: &mut Tensor) {
         let m = self.shape.last_dim();
         assert!(m > 0, "softmax over empty dim");
-        let mut out = Tensor::uninit(self.shape);
-        let od = out.data.make_mut();
+        let od = take_out(out, self.shape);
         let softmax_rows = |start: usize, out_rows: &mut [f64]| {
             for (r, dst) in out_rows.chunks_mut(m).enumerate() {
                 let base = start + r * m;
@@ -581,7 +609,6 @@ impl Tensor {
         } else {
             pool::parallel_chunks_mut(od, ROW_GRAIN * m, softmax_rows);
         }
-        out
     }
 
     /// Row-wise layer normalization over the last dimension. Returns the
@@ -605,6 +632,46 @@ impl Tensor {
             isd[r] = is;
         }
         (normed, inv_std)
+    }
+
+    /// Layer normalization over the last dimension fused with the learned
+    /// affine transform. Bitwise identical to
+    /// `self.layer_norm_parts(eps).0.scale_shift_last(gamma, beta)` — the
+    /// same f64 operations in the same order, without materializing the
+    /// normalized intermediate or the inverse-std vector (which only the
+    /// backward pass needs).
+    pub fn layer_norm_affine(&self, gamma: &Tensor, beta: &Tensor, eps: f64) -> Tensor {
+        let mut out = Tensor::uninit(Shape::scalar());
+        self.layer_norm_affine_into(gamma, beta, eps, &mut out);
+        out
+    }
+
+    /// [`Tensor::layer_norm_affine`] writing into a caller-provided tensor
+    /// (see [`Tensor::matmul_into`] for the reuse contract).
+    pub fn layer_norm_affine_into(
+        &self,
+        gamma: &Tensor,
+        beta: &Tensor,
+        eps: f64,
+        out: &mut Tensor,
+    ) {
+        let m = self.shape.last_dim();
+        assert_eq!(gamma.numel(), m, "gamma {} vs last dim {m}", gamma.shape());
+        assert_eq!(beta.numel(), m, "beta {} vs last dim {m}", beta.shape());
+        let rows = self.numel() / m;
+        let (g, b) = (gamma.data(), beta.data());
+        let od = take_out(out, self.shape);
+        for r in 0..rows {
+            let row = &self.data[r * m..(r + 1) * m];
+            let mean: f64 = row.iter().sum::<f64>() / m as f64;
+            let var: f64 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / m as f64;
+            let is = 1.0 / (var + eps).sqrt();
+            for (o, (&v, (&gj, &bj))) in
+                od[r * m..(r + 1) * m].iter_mut().zip(row.iter().zip(g.iter().zip(b)))
+            {
+                *o = (v - mean) * is * gj + bj;
+            }
+        }
     }
 
     /// Row-wise affine over the last dimension: `self * gamma + beta` with
@@ -687,6 +754,20 @@ impl Tensor {
         }
         out
     }
+}
+
+/// Prepares `out` to receive a result of `shape`: reuses its storage in
+/// place when it is uniquely owned and already holds `shape.numel()`
+/// elements (the steady-state case for a reused workspace tensor), and
+/// otherwise swaps in a pooled buffer. Returns the writable slice; contents
+/// are stale and must be fully overwritten (or zeroed) by the caller.
+fn take_out(out: &mut Tensor, shape: Shape) -> &mut [f64] {
+    if out.numel() != shape.numel() || !out.data.is_unique() {
+        *out = Tensor::uninit(shape);
+    } else {
+        out.shape = shape;
+    }
+    out.data.make_mut()
 }
 
 /// Naive-but-cache-friendly `out[n,m] += a[n,k] * b[k,m]` (out starts zeroed).
@@ -1089,6 +1170,60 @@ mod tests {
         assert_eq!(a.map(f64::abs).data(), &[1.0, 2.0]);
         let b = Tensor::from_slice(&[10.0, 10.0]);
         assert_eq!(a.zip(&b, |x, y| x + y).data(), &[11.0, 8.0]);
+    }
+
+    #[test]
+    fn into_variants_match_allocating_forms_bitwise() {
+        let x = Tensor::from_fn([3, 5, 4], |i| ((i * 13 % 23) as f64 - 11.0) * 0.21);
+        let w = Tensor::from_fn([4, 6], |i| ((i * 7 % 19) as f64 - 9.0) * 0.17);
+        let b = Tensor::from_fn([6], |i| i as f64 * 0.3 - 1.0);
+        let q = Tensor::from_fn([2, 5, 3], |i| ((i * 11 % 29) as f64 - 14.0) * 0.13);
+        let k = Tensor::from_fn([2, 7, 3], |i| ((i * 17 % 31) as f64 - 15.0) * 0.07);
+        let gamma = Tensor::from_fn([4], |i| 0.5 + i as f64 * 0.25);
+        let beta = Tensor::from_fn([4], |i| i as f64 * 0.1 - 0.2);
+        let mut out = Tensor::zeros([1]);
+
+        x.matmul_into(&w, &mut out);
+        assert_eq!(out.data(), x.matmul(&w).data());
+        assert_eq!(out.shape().dims(), &[3, 5, 6]);
+        x.matmul_bias_act_into(&w, Some(&b), Act::Sigmoid, &mut out);
+        assert_eq!(out.data(), x.matmul_bias_act(&w, Some(&b), Act::Sigmoid).data());
+        q.matmul_nt_scaled_into(&k, 0.5, &mut out);
+        assert_eq!(out.data(), q.matmul_nt_scaled(&k, 0.5).data());
+        x.softmax_last_into(&mut out);
+        assert_eq!(out.data(), x.softmax_last().data());
+        x.layer_norm_affine_into(&gamma, &beta, 1e-5, &mut out);
+        assert_eq!(out.data(), x.layer_norm_affine(&gamma, &beta, 1e-5).data());
+    }
+
+    #[test]
+    fn layer_norm_affine_matches_unfused_chain() {
+        let x = Tensor::from_fn([6, 5], |i| ((i * 19 % 37) as f64 - 18.0) * 0.11);
+        let gamma = Tensor::from_fn([5], |i| 1.0 - i as f64 * 0.3);
+        let beta = Tensor::from_fn([5], |i| i as f64 * 0.05);
+        let fused = x.layer_norm_affine(&gamma, &beta, 1e-5);
+        let unfused = x.layer_norm_parts(1e-5).0.scale_shift_last(&gamma, &beta);
+        assert_eq!(fused.data(), unfused.data());
+    }
+
+    #[test]
+    fn into_variants_reuse_unique_matching_storage() {
+        let a = Tensor::from_fn([8, 8], |i| i as f64 * 0.01);
+        let b = Tensor::from_fn([8, 8], |i| (64 - i) as f64 * 0.02);
+        let mut out = Tensor::zeros([64]); // right numel, wrong shape: reused
+        let ptr = out.data().as_ptr();
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out.data().as_ptr(), ptr, "unique matching buffer must be reused");
+        assert_eq!(out.shape().dims(), &[8, 8]);
+        a.softmax_last_into(&mut out);
+        assert_eq!(out.data().as_ptr(), ptr);
+
+        // A shared buffer must be detached, not written through.
+        let alias = out.clone();
+        let before = alias.data().to_vec();
+        a.matmul_nt_scaled_into(&b, 2.0, &mut out);
+        assert_eq!(alias.data(), &before[..], "shared storage must not be clobbered");
+        assert!(!out.shares_storage(&alias));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use crate::train::TrainedTranad;
 use tranad_data::{TimeSeries, Windows};
-use tranad_nn::Ctx;
+use tranad_nn::{Fwd, InferCtx};
 
 /// Attention and focus traces over a series.
 #[derive(Debug, Clone)]
@@ -30,14 +30,16 @@ impl TrainedTranad {
 
         let mut attention = Vec::with_capacity(windows.len());
         let mut focus = Vec::with_capacity(windows.len());
-        let all: Vec<usize> = (0..windows.len()).collect();
-        for batch in all.chunks(config.batch_size.max(1)) {
-            let ctx = Ctx::eval(&self.store);
-            let w = ctx.input(windows.batch(batch));
-            let c = ctx.input(windows.context_batch(batch, c_len));
+        let n = windows.len();
+        let bs = config.batch_size.max(1);
+        for start in (0..n).step_by(bs) {
+            let end = (start + bs).min(n);
+            let ctx = InferCtx::new(&self.store);
+            let w = ctx.input(windows.batch_range(start, end));
+            let c = ctx.input(windows.context_batch_range(start, end, c_len));
             let attn = self.model.context_attention(&ctx, &w, &c)?;
             let out = self.model.forward(&ctx, &w, &c);
-            for (bi, _) in batch.iter().enumerate() {
+            for bi in 0..end - start {
                 // Attention from the last (current) context position,
                 // averaged over the keys it attends to — the variance of
                 // that row signals how concentrated attention is; we report

@@ -7,7 +7,7 @@ use crate::config::TranadConfig;
 use tranad_nn::attention::causal_mask;
 use tranad_nn::layers::{Activation, FeedForward, Linear};
 use tranad_nn::transformer::{EncoderLayer, PositionalEncoding, WindowEncoderLayer};
-use tranad_nn::{Ctx, Init, ParamId, ParamStore};
+use tranad_nn::{Fwd, Init, ParamId, ParamStore, Value};
 use tranad_tensor::{Tensor, Var};
 
 /// Encoder trunk: either the paper's transformer pair or the "w/o
@@ -37,14 +37,19 @@ pub struct TranadModel {
     decoder2_params: Vec<ParamId>,
 }
 
-/// Output of one two-phase forward pass.
-pub struct TranadOutput {
+/// Output of one two-phase forward pass. Generic over the forward mode:
+/// `TranadOutput<Var>` (the default) from a taped [`TrainCtx`] pass,
+/// `TranadOutput<Tensor>` from a tape-free [`InferCtx`] pass.
+///
+/// [`TrainCtx`]: tranad_nn::TrainCtx
+/// [`InferCtx`]: tranad_nn::InferCtx
+pub struct TranadOutput<V = Var> {
     /// Phase-1 reconstruction from decoder 1 (`O_1`).
-    pub o1: Var,
+    pub o1: V,
     /// Phase-1 reconstruction from decoder 2 (`O_2`).
-    pub o2: Var,
+    pub o2: V,
     /// Phase-2 self-conditioned reconstruction from decoder 2 (`Ô_2`).
-    pub o2_hat: Var,
+    pub o2_hat: V,
     /// The focus score fed to phase 2 (detached tensor), for introspection.
     pub focus: Tensor,
 }
@@ -134,10 +139,10 @@ impl TranadModel {
     ///
     /// `window`: `[b, k, m]`, `context`: `[b, c, m]`, `focus`: `[b, k, m]`
     /// (zeros in phase 1, phase-1 squared deviations in phase 2).
-    fn encode(&self, ctx: &Ctx, window: &Var, context: &Var, focus: &Var) -> Var {
+    fn encode<F: Fwd>(&self, ctx: &F, window: &F::V, context: &F::V, focus: &F::V) -> F::V {
         // Concatenate the focus score on the feature axis: [b, k, 2m],
         // then embed if 2m sits below the d_model floor.
-        let mut win_in = Var::concat_last(&[window.clone(), focus.clone()]);
+        let mut win_in = Value::concat_last(&[window.clone(), focus.clone()]);
         if let Some(embed) = &self.embed {
             win_in = embed.forward(ctx, &win_in);
         }
@@ -150,7 +155,7 @@ impl TranadModel {
                 // "broadcast F to match the dimension ... with appropriate
                 // zero-padding"), the focus occupying the final k rows.
                 let ctx_focus = ctx.input(zero_pad_focus(&focus.value(), b, c_len, k, self.dims));
-                let mut ctx_in = Var::concat_last(&[context.clone(), ctx_focus]);
+                let mut ctx_in = Value::concat_last(&[context.clone(), ctx_focus]);
                 if let Some(embed) = &self.embed {
                     ctx_in = embed.forward(ctx, &ctx_in);
                 }
@@ -171,7 +176,7 @@ impl TranadModel {
     }
 
     /// Phase 1 (Algorithm 1 line 5): reconstructions with `F = 0`.
-    pub fn phase1(&self, ctx: &Ctx, window: &Var, context: &Var) -> (Var, Var) {
+    pub fn phase1<F: Fwd>(&self, ctx: &F, window: &F::V, context: &F::V) -> (F::V, F::V) {
         let zeros = ctx.input(Tensor::zeros(window.shape()));
         let latent = self.encode(ctx, window, context, &zeros);
         (
@@ -183,7 +188,7 @@ impl TranadModel {
     /// Phase 2 (line 6): decoder-2 reconstruction conditioned on the focus
     /// score. The focus is a detached tensor (no gradient flows through it),
     /// matching the auto-regressive two-phase inference of §3.4.
-    pub fn phase2(&self, ctx: &Ctx, window: &Var, context: &Var, focus: Tensor) -> Var {
+    pub fn phase2<F: Fwd>(&self, ctx: &F, window: &F::V, context: &F::V, focus: Tensor) -> F::V {
         let f = ctx.input(focus);
         let latent = self.encode(ctx, window, context, &f);
         self.decoder2.forward(ctx, &latent)
@@ -192,7 +197,13 @@ impl TranadModel {
     /// Phase-2 pass through decoder 1 (used at test time, Algorithm 2
     /// line 3 produces the pair `(O_1, Ô_2)`; `Ô_1` is discarded but the
     /// shared encoder run is the same).
-    pub fn phase2_decoder1(&self, ctx: &Ctx, window: &Var, context: &Var, focus: Tensor) -> Var {
+    pub fn phase2_decoder1<F: Fwd>(
+        &self,
+        ctx: &F,
+        window: &F::V,
+        context: &F::V,
+        focus: Tensor,
+    ) -> F::V {
         let f = ctx.input(focus);
         let latent = self.encode(ctx, window, context, &f);
         self.decoder1.forward(ctx, &latent)
@@ -203,7 +214,7 @@ impl TranadModel {
     /// When `self_conditioning` is disabled (ablation), the phase-2 focus is
     /// fixed to zeros; when `adversarial` is disabled the caller should use
     /// only `o1`/`o2`.
-    pub fn forward(&self, ctx: &Ctx, window: &Var, context: &Var) -> TranadOutput {
+    pub fn forward<F: Fwd>(&self, ctx: &F, window: &F::V, context: &F::V) -> TranadOutput<F::V> {
         let (o1, o2) = self.phase1(ctx, window, context);
         let focus = if self.config.self_conditioning {
             // F = (O1 - W)^2, elementwise squared deviation, detached.
@@ -218,7 +229,12 @@ impl TranadModel {
     /// Averaged context-encoder self-attention weights for the Figure 3
     /// introspection. Returns `[b, c, c]`, or `None` for the feed-forward
     /// ablation.
-    pub fn context_attention(&self, ctx: &Ctx, window: &Var, context: &Var) -> Option<Tensor> {
+    pub fn context_attention<F: Fwd>(
+        &self,
+        ctx: &F,
+        window: &F::V,
+        context: &F::V,
+    ) -> Option<Tensor> {
         match &self.trunk {
             Trunk::Transformer { pos, context_encoder, .. } => {
                 let dims = context.shape();
@@ -226,7 +242,7 @@ impl TranadModel {
                 let k = window.shape().dim(1);
                 let zeros = Tensor::zeros(window.shape());
                 let ctx_focus = ctx.input(zero_pad_focus(&zeros, b, c_len, k, self.dims));
-                let mut ctx_in = Var::concat_last(&[context.clone(), ctx_focus]);
+                let mut ctx_in = Value::concat_last(&[context.clone(), ctx_focus]);
                 if let Some(embed) = &self.embed {
                     ctx_in = embed.forward(ctx, &ctx_in);
                 }
@@ -256,6 +272,7 @@ fn zero_pad_focus(focus: &Tensor, b: usize, c_len: usize, k: usize, m: usize) ->
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tranad_nn::Ctx;
 
     fn build(dims: usize, config: TranadConfig) -> (ParamStore, TranadModel) {
         let mut store = ParamStore::new();

@@ -17,7 +17,7 @@ use crate::train::TrainedTranad;
 use std::time::Instant;
 use tranad_data::TimeSeries;
 use tranad_evt::{PotConfig, Spot, SpotParts};
-use tranad_nn::Ctx;
+use tranad_nn::{Fwd, InferCtx};
 use tranad_telemetry::Recorder;
 use tranad_tensor::Tensor;
 
@@ -75,6 +75,13 @@ pub struct OnlineState {
     seen: u64,
     spots: Vec<Spot>,
     dims: usize,
+    /// Reusable `[1, window, dims]` / `[1, context, dims]` staging tensors:
+    /// each push fills them in place instead of rebuilding the flattened
+    /// window and context from scratch. Their storage is uniquely owned
+    /// again by the time the next push runs (the forward pass holds its
+    /// clone only transiently), so the in-place write never copies.
+    window_stage: Tensor,
+    context_stage: Tensor,
 }
 
 impl OnlineState {
@@ -90,7 +97,16 @@ impl OnlineState {
             spots.push(Spot::try_init(&calib, pot).map_err(|e| DetectorError::pot(d, e))?);
         }
         let cap = config.window.max(config.context);
-        Ok(OnlineState { rows: Vec::with_capacity(cap), start: 0, cap, seen: 0, spots, dims })
+        Ok(OnlineState {
+            rows: Vec::with_capacity(cap),
+            start: 0,
+            cap,
+            seen: 0,
+            spots,
+            dims,
+            window_stage: Tensor::zeros([1, config.window, dims]),
+            context_stage: Tensor::zeros([1, config.context, dims]),
+        })
     }
 
     /// Number of datapoints consumed so far (the monotonic counter — not
@@ -140,32 +156,32 @@ impl OnlineState {
         let normalized = trained.normalizer.transform(&row);
         self.insert(normalized.row(0).to_vec());
 
-        let config = *trained.model.config();
-        let k = config.window;
-        let c_len = config.context;
+        let k = trained.model.config().window;
 
         // Assemble the current window and context with replication padding
-        // (exactly §3.2's W_t and C_t).
-        let window = self.padded_tail(k);
-        let context = self.padded_tail(c_len);
+        // (exactly §3.2's W_t and C_t) in the per-state staging tensors.
+        fill_tail(&self.rows, self.start, self.window_stage.data_mut());
+        fill_tail(&self.rows, self.start, self.context_stage.data_mut());
 
-        let ctx = Ctx::eval(&trained.store);
-        let w = ctx.input(Tensor::from_vec(window, [1, k, self.dims]));
-        let c = ctx.input(Tensor::from_vec(context, [1, c_len, self.dims]));
+        // Scoring never backpropagates, so the forward pass runs tape-free:
+        // plain tensor kernels over pooled buffers, no tape nodes or
+        // backward closures, bitwise-identical outputs to the taped path.
+        let _fwd = tranad_telemetry::span::enter("infer.forward");
+        let ctx = InferCtx::new(&trained.store);
+        let w = ctx.input(self.window_stage.clone());
+        let c = ctx.input(self.context_stage.clone());
         let out = trained.model.forward(&ctx, &w, &c);
-        let o1 = out.o1.value();
-        let o2h = out.o2_hat.value();
-        let wv = w.value();
 
         let base = (k - 1) * self.dims;
         let scores: Vec<f64> = (0..self.dims)
             .map(|d| {
-                let target = wv.data()[base + d];
-                let e1 = o1.data()[base + d] - target;
-                let e2 = o2h.data()[base + d] - target;
+                let target = w.data()[base + d];
+                let e1 = out.o1.data()[base + d] - target;
+                let e2 = out.o2_hat.data()[base + d] - target;
                 0.5 * e1 * e1 + 0.5 * e2 * e2
             })
             .collect();
+        drop(_fwd);
         let dim_labels: Vec<bool> = scores
             .iter()
             .zip(self.spots.iter_mut())
@@ -230,7 +246,16 @@ impl OnlineState {
         }
         let mut rows = Vec::with_capacity(cap);
         rows.extend(snap.rows.iter().cloned());
-        Ok(OnlineState { rows, start: 0, cap, seen: snap.seen, spots, dims })
+        Ok(OnlineState {
+            rows,
+            start: 0,
+            cap,
+            seen: snap.seen,
+            spots,
+            dims,
+            window_stage: Tensor::zeros([1, config.window, dims]),
+            context_stage: Tensor::zeros([1, config.context, dims]),
+        })
     }
 
     /// Appends a row, overwriting the oldest once the ring is full.
@@ -249,18 +274,21 @@ impl OnlineState {
         &self.rows[(self.start + i) % self.rows.len()]
     }
 
-    /// The last `n` history rows flattened, replication-padded at the front
-    /// with the oldest available row. `n <= capacity()` always holds (it is
-    /// the window or context length), so the ring never evicts a row a
-    /// forward pass still needs.
-    fn padded_tail(&self, n: usize) -> Vec<f64> {
-        let mut out = Vec::with_capacity(n * self.dims);
-        let have = self.rows.len();
-        for i in 0..n {
-            let idx = (have + i).saturating_sub(n);
-            out.extend_from_slice(self.logical(idx.min(have - 1)));
-        }
-        out
+}
+
+/// Copies the last `n = dst.len() / dims` logical ring rows (oldest first,
+/// ring order `start..start+len` mod len), replication-padded at the front
+/// with the oldest available row, into `dst`. `n <= capacity()` always
+/// holds (it is the window or context length), so the ring never evicts a
+/// row a forward pass still needs. A free function over the ring fields so
+/// the caller can fill a staging tensor it also owns.
+fn fill_tail(rows: &[Vec<f64>], start: usize, dst: &mut [f64]) {
+    let have = rows.len();
+    let dims = rows[0].len();
+    let n = dst.len() / dims;
+    for (i, slot) in dst.chunks_exact_mut(dims).enumerate() {
+        let idx = (have + i).saturating_sub(n);
+        slot.copy_from_slice(&rows[(start + idx.min(have - 1)) % have]);
     }
 }
 

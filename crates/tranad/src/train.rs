@@ -15,7 +15,7 @@ use std::time::Instant;
 use tranad_data::{train_val_split, Normalizer, TimeSeries, Windows};
 use tranad_nn::maml::{fomaml_step, MamlConfig};
 use tranad_nn::optim::{AdamW, StepLr};
-use tranad_nn::{Ctx, Init, ParamId, ParamStore};
+use tranad_nn::{Ctx, Fwd, InferCtx, Init, ParamId, ParamStore, Value};
 use tranad_telemetry::Recorder;
 use tranad_tensor::Tensor;
 
@@ -306,16 +306,18 @@ fn validation_loss(
     config: TranadConfig,
 ) -> f64 {
     let mut total = 0.0;
-    let mut n = 0usize;
-    let all: Vec<usize> = (0..windows.len()).collect();
-    for batch in all.chunks(config.batch_size.max(1)) {
-        let ctx = Ctx::eval(store);
-        let w = ctx.input(windows.batch(batch));
-        let c = ctx.input(windows.context_batch(batch, config.context));
+    let n = windows.len();
+    let bs = config.batch_size.max(1);
+    // Validation never backpropagates, so it runs tape-free; chunk the
+    // timestamp range directly instead of materializing an index list.
+    for start in (0..n).step_by(bs) {
+        let end = (start + bs).min(n);
+        let ctx = InferCtx::new(store);
+        let w = ctx.input(windows.batch_range(start, end));
+        let c = ctx.input(windows.context_batch_range(start, end, config.context));
         let out = model.forward(&ctx, &w, &c);
         let loss = out.o1.mse(&w).add(&out.o2_hat.mse(&w)).scale(0.5);
-        total += loss.value().item() * batch.len() as f64;
-        n += batch.len();
+        total += loss.item() * (end - start) as f64;
     }
     total / n.max(1) as f64
 }
@@ -329,29 +331,31 @@ impl TrainedTranad {
         let windows = Windows::borrowed(normalized, config.window);
         let m = normalized.dims();
         let k = config.window;
-        // Batches are independent eval-mode forward passes, so they run on
+        // Batches are independent tape-free forward passes, so they run on
         // the thread pool. Batch boundaries depend only on the series
         // length and batch size — never on the thread count — so scores
         // are identical for any pool size.
-        let all: Vec<usize> = (0..windows.len()).collect();
-        let chunks: Vec<&[usize]> = all.chunks(config.batch_size.max(1)).collect();
-        let mut slots: Vec<Vec<Vec<f64>>> = vec![Vec::new(); chunks.len()];
+        let n = windows.len();
+        let bs = config.batch_size.max(1);
+        let n_chunks = n.div_ceil(bs);
+        let mut slots: Vec<Vec<Vec<f64>>> = vec![Vec::new(); n_chunks];
         tranad_tensor::pool::parallel_chunks_mut(&mut slots, 1, |ci, slot| {
-            let batch = chunks[ci];
-            let ctx = Ctx::eval(&self.store);
-            let w = ctx.input(windows.batch(batch));
-            let c = ctx.input(windows.context_batch(batch, config.context));
+            let start = ci * bs;
+            let end = (start + bs).min(n);
+            let _fwd = tranad_telemetry::span::enter("infer.forward");
+            let ctx = InferCtx::new(&self.store);
+            let w = ctx.input(windows.batch_range(start, end));
+            let c = ctx.input(windows.context_batch_range(start, end, config.context));
             let out = self.model.forward(&ctx, &w, &c);
-            let o1 = out.o1.value();
-            let o2h = out.o2_hat.value();
-            let wv = w.value();
-            let mut rows = Vec::with_capacity(batch.len());
-            for (bi, _) in batch.iter().enumerate() {
+            let o1 = &out.o1;
+            let o2h = &out.o2_hat;
+            let mut rows = Vec::with_capacity(end - start);
+            for bi in 0..end - start {
                 // Score only the window's final row — the current timestamp.
                 let base = (bi * k + (k - 1)) * m;
                 let row_scores: Vec<f64> = (0..m)
                     .map(|d| {
-                        let target = wv.data()[base + d];
+                        let target = w.data()[base + d];
                         let e1 = o1.data()[base + d] - target;
                         let e2 = o2h.data()[base + d] - target;
                         0.5 * e1 * e1 + 0.5 * e2 * e2

@@ -20,6 +20,11 @@ echo "==> determinism across thread counts (TRANAD_THREADS=1 vs 8)"
 TRANAD_THREADS=1 cargo test --release -q -p tranad --test determinism
 TRANAD_THREADS=8 cargo test --release -q -p tranad --test determinism
 
+echo "==> taped vs tape-free inference parity (bitwise; TRANAD_THREADS=1 vs 8)"
+TRANAD_THREADS=1 cargo test --release -q -p tranad --test infer_parity
+TRANAD_THREADS=8 cargo test --release -q -p tranad --test infer_parity
+TRANAD_THREADS=8 cargo test --release -q -p tranad-baselines --test infer_parity
+
 echo "==> serve kill-and-resume smoke (bitwise verdict equality, 1 and 8 threads)"
 TRANAD_THREADS=1 cargo run --release -q -p tranad-serve --bin serve-smoke
 TRANAD_THREADS=8 cargo run --release -q -p tranad-serve --bin serve-smoke
@@ -40,7 +45,7 @@ test -s "$REPORT_TMP/trace.chrome.json"
 test -s "$REPORT_TMP/flame.svg"
 rm -rf "$REPORT_TMP" "$TRACE_TMP"
 
-echo "==> allocations per training step (count-alloc; gates disabled-telemetry overhead)"
+echo "==> allocation budgets (count-alloc; training step + tape-free online push, results/alloc_budget.json)"
 cargo run --release -q -p tranad-bench --features count-alloc --bin bench-alloc
 
 echo "==> verify OK"
