@@ -169,4 +169,46 @@ fn main() {
         push_allocs < taped_allocs,
         "tape-free push ({push_allocs} allocs) must stay below the taped forward ({taped_allocs} allocs)"
     );
+
+    // ---- Serving engine: allocations per point on the batched path ----
+    // Cross-stream batching amortizes the forward's allocator traffic over
+    // every co-batched stream, and the push path copies into preallocated
+    // row queues — so allocs/point must sit well below allocs/push.
+    let serve_budget = budget(&budgets, "serve_allocs_per_point");
+    let streams = 8usize;
+    let rounds = 32usize;
+    let mut engine = tranad_serve::Engine::new(
+        trained,
+        tranad_serve::EngineConfig::builder().max_queue(rounds).batch_max(rounds).build().unwrap(),
+    )
+    .expect("engine");
+    let ids: Vec<_> = (0..streams)
+        .map(|s| engine.stream_id(&format!("s{s}")).expect("stream id"))
+        .collect();
+    let feed = |engine: &mut tranad_serve::Engine, epoch: usize| {
+        for t in 0..rounds {
+            for (s, &id) in ids.iter().enumerate() {
+                engine
+                    .push_id(id, stream.row((epoch * rounds + t + s * 31) % stream.len()))
+                    .expect("push");
+            }
+        }
+        while engine.run_batch().expect("batch").processed > 0 {}
+    };
+    feed(&mut engine, 0); // warm-up: SPOT calibration, workspace growth
+    let before = alloc_count::counts();
+    feed(&mut engine, 1);
+    let (serve_allocs, serve_bytes) = alloc_count::delta(before);
+    let points = (streams * rounds) as u64;
+    println!(
+        "serve batched ({streams} streams): {} allocations/point, {} bytes/point",
+        serve_allocs / points,
+        serve_bytes / points
+    );
+    assert!(
+        serve_allocs / points <= serve_budget,
+        "batched serve path regressed: {} allocs/point (budget {})",
+        serve_allocs / points,
+        serve_budget
+    );
 }

@@ -1,0 +1,197 @@
+//! Cross-stream batched vs per-stream serving throughput.
+//!
+//! Serves the same 32 deterministic streams through both engine paths —
+//! [`Engine::run_batch_per_stream`] (one batch-1 forward per point, the
+//! pre-batching design and today's reference implementation) and
+//! [`Engine::run_batch`] (one stacked forward per cross-stream round) —
+//! and reports points/sec for each. On a single core the win is pure
+//! amortization: every per-op overhead (shape checks, pool dispatch,
+//! workspace staging) is paid once per 32-row round instead of 32 times.
+//!
+//! With `--out <path>` the comparison is recorded as JSON (the committed
+//! copy lives at `results/serve_throughput.json`); with `--min-speedup
+//! <x>` the run fails (exit 1) if batched serving is not at least `x`
+//! times the per-stream throughput — scripts/verify.sh gates at 1.5x.
+//!
+//! Usage: `cargo run --release -p tranad-bench --bin bench-serve [-- --out results/serve_throughput.json --min-speedup 1.5]`
+
+use std::time::Instant;
+use tranad::config::TranadConfig;
+use tranad::train::{train, TrainedTranad};
+use tranad_data::{SignalRng, TimeSeries};
+use tranad_serve::{BatchReport, Engine, EngineConfig, ServeError, StreamId};
+
+const DIMS: usize = 4;
+const STREAMS: usize = 32;
+const POINTS_PER_STREAM: usize = 64;
+
+fn toy_series(len: usize, dims: usize, seed: u64) -> TimeSeries {
+    let mut rng = SignalRng::new(seed);
+    let cols: Vec<Vec<f64>> = (0..dims)
+        .map(|d| {
+            (0..len)
+                .map(|t| ((t as f64) / (10.0 + d as f64)).sin() + 0.05 * rng.normal())
+                .collect()
+        })
+        .collect();
+    TimeSeries::from_columns(&cols)
+}
+
+/// The `t`-th point of stream `s`: a pure function of its coordinates.
+fn point(s: usize, t: usize, dst: &mut [f64]) {
+    for (d, v) in dst.iter_mut().enumerate() {
+        let x = t as f64 + s as f64 * 0.37;
+        *v = (x / (10.0 + d as f64)).sin()
+            + 0.05 * (((x * 12.9898 + d as f64 * 78.233).sin() * 43758.5453).fract() - 0.5);
+    }
+}
+
+/// Builds a fresh engine over `STREAMS` interned streams.
+fn build_engine(model_path: &std::path::Path) -> (Engine, Vec<StreamId>) {
+    let trained = TrainedTranad::load(model_path).expect("load model");
+    let config = EngineConfig::builder()
+        .max_queue(POINTS_PER_STREAM)
+        .batch_max(POINTS_PER_STREAM)
+        .build()
+        .expect("valid serve config");
+    let mut engine = Engine::new(trained, config).expect("engine");
+    let ids = (0..STREAMS)
+        .map(|s| engine.stream_id(&format!("stream-{s:02}")).expect("stream id"))
+        .collect();
+    (engine, ids)
+}
+
+/// One measured cycle: push `POINTS_PER_STREAM` points into every stream,
+/// then drain them all through `run`. Returns the points scored.
+fn cycle(
+    engine: &mut Engine,
+    ids: &[StreamId],
+    epoch: usize,
+    run: impl Fn(&mut Engine) -> Result<BatchReport, ServeError>,
+) -> usize {
+    let mut row = [0.0; DIMS];
+    for t in 0..POINTS_PER_STREAM {
+        for (s, &id) in ids.iter().enumerate() {
+            point(s, epoch * POINTS_PER_STREAM + t, &mut row);
+            assert!(
+                matches!(
+                    engine.push_id(id, &row).expect("push"),
+                    tranad_serve::PushOutcome::Enqueued { .. }
+                ),
+                "bench must not shed"
+            );
+        }
+    }
+    let mut scored = 0;
+    loop {
+        let report = run(engine).expect("batch");
+        if report.processed == 0 {
+            return scored;
+        }
+        scored += report.processed;
+    }
+}
+
+/// One timed cycle (after an untimed warm-up elsewhere); asserts no
+/// points were lost and returns seconds.
+fn timed_cycle(
+    engine: &mut Engine,
+    ids: &[StreamId],
+    epoch: usize,
+    run: impl Fn(&mut Engine) -> Result<BatchReport, ServeError>,
+) -> f64 {
+    let start = Instant::now();
+    let scored = cycle(engine, ids, epoch, &run);
+    let secs = start.elapsed().as_secs_f64();
+    assert_eq!(scored, STREAMS * POINTS_PER_STREAM, "measured cycle lost points");
+    secs
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag = |name: &str| {
+        args.iter().position(|a| a == name).map(|i| {
+            args.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("{name} requires a value");
+                std::process::exit(2);
+            })
+        })
+    };
+    let out_path = flag("--out");
+    let min_speedup: Option<f64> = flag("--min-speedup").map(|v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("--min-speedup requires a number, got {v:?}");
+            std::process::exit(2);
+        })
+    });
+
+    let train_series = toy_series(800, DIMS, 1);
+    // A lean low-latency serving model (the paper's defaults are sized for
+    // offline scoring; streaming deployments trade window/ff size for
+    // latency). The smaller the per-row compute, the more the fixed per-op
+    // overhead matters — exactly the regime cross-stream batching targets.
+    let config = TranadConfig {
+        epochs: 3,
+        patience: 10,
+        window: 3,
+        context: 6,
+        ff_hidden: 8,
+        ..TranadConfig::default()
+    };
+    let (trained, _) = train(&train_series, config).expect("training");
+    let model_path = std::env::temp_dir()
+        .join(format!("tranad_bench_serve_model_{}.json", std::process::id()));
+    trained.save(&model_path).expect("save model");
+
+    let reps = 7;
+    // TrainedTranad is not Clone: each path serves its own load of the
+    // same saved model (identical parameters bit for bit). Cycles are
+    // interleaved — per-stream then batched, rep by rep — so clock-speed
+    // drift over the run hits both paths alike; best-of-`reps` each.
+    let (mut ref_engine, ref_ids) = build_engine(&model_path);
+    let (mut bat_engine, bat_ids) = build_engine(&model_path);
+    std::fs::remove_file(&model_path).ok();
+    let expected = STREAMS * POINTS_PER_STREAM;
+    let warm = cycle(&mut ref_engine, &ref_ids, 0, Engine::run_batch_per_stream);
+    assert_eq!(warm, expected, "warm-up lost points");
+    let warm = cycle(&mut bat_engine, &bat_ids, 0, Engine::run_batch);
+    assert_eq!(warm, expected, "warm-up lost points");
+    let mut per_stream_s = f64::INFINITY;
+    let mut batched_s = f64::INFINITY;
+    for rep in 0..reps {
+        per_stream_s = per_stream_s
+            .min(timed_cycle(&mut ref_engine, &ref_ids, rep + 1, Engine::run_batch_per_stream));
+        batched_s =
+            batched_s.min(timed_cycle(&mut bat_engine, &bat_ids, rep + 1, Engine::run_batch));
+    }
+
+    let points = expected as f64;
+    let per_stream_pps = points / per_stream_s;
+    let batched_pps = points / batched_s;
+    let speedup = batched_pps / per_stream_pps;
+    println!(
+        "per-stream: {per_stream_pps:.0} points/s ({:.1} us/point)",
+        1e6 * per_stream_s / points
+    );
+    println!(
+        "batched:    {batched_pps:.0} points/s ({:.1} us/point) — {speedup:.2}x",
+        1e6 * batched_s / points
+    );
+
+    if let Some(path) = out_path {
+        let json = format!(
+            "{{\n  \"comment\": \"Serving throughput, per-stream batch-1 forwards vs cross-stream batched forwards, from `bench-serve` (best of {reps} cycles; {STREAMS} streams x {POINTS_PER_STREAM} points, {DIMS} dims, single engine thread). Both paths produce bitwise-identical verdicts (tests/batch_parity.rs).\",\n  \"streams\": {STREAMS},\n  \"points_per_stream\": {POINTS_PER_STREAM},\n  \"per_stream\": {{ \"points_per_s\": {per_stream_pps:.0}, \"us_per_point\": {:.1} }},\n  \"batched\": {{ \"points_per_s\": {batched_pps:.0}, \"us_per_point\": {:.1} }},\n  \"speedup\": {speedup:.2}\n}}\n",
+            1e6 * per_stream_s / points,
+            1e6 * batched_s / points,
+        );
+        std::fs::write(&path, json).expect("write --out file");
+        println!("wrote {path}");
+    }
+    if let Some(min) = min_speedup {
+        if speedup < min {
+            eprintln!("FAIL: batched serving speedup {speedup:.2}x is below the {min:.2}x gate");
+            std::process::exit(1);
+        }
+        println!("speedup gate OK ({speedup:.2}x >= {min:.2}x)");
+    }
+}

@@ -24,14 +24,24 @@ fn main() {
     let (trained, report) = train(&ds.train, config).expect("training");
     let detection = trained.detect(&ds.test, PotConfig::default()).expect("detection");
 
-    // Exercise the serving layer so serve.* events and the serve.batch span
-    // land in the same smoke trace.
-    let mut engine = tranad_serve::Engine::new(trained, tranad_serve::ServeConfig::default())
-        .expect("serve engine");
+    // Exercise both serving paths so serve.* events, the batched
+    // serve.batch_forward span, and the per-stream reference path's
+    // infer.forward spans all land in the same smoke trace.
+    let serve_config = tranad_serve::EngineConfig::builder()
+        .batch_max(16) // one per-stream call leaves points for the batched drain
+        .build()
+        .expect("serve config");
+    let mut engine = tranad_serve::Engine::new(trained, serve_config).expect("serve engine");
     for t in 0..ds.test.len().min(64) {
         engine.push("smoke", ds.test.row(t)).expect("serve push");
     }
-    let served = engine.drain().expect("serve drain");
+    let reference = engine.run_batch_per_stream().expect("per-stream batch");
+    let mut served = engine.drain().expect("serve drain");
+    for sv in reference.verdicts {
+        let name = engine.stream_name(sv.stream).expect("own stream").to_string();
+        let tail = served.entry(name).or_default();
+        tail.splice(0..0, sv.verdicts);
+    }
 
     rec.flush_metrics();
     rec.flush();

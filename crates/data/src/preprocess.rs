@@ -44,6 +44,19 @@ impl Normalizer {
         out
     }
 
+    /// Applies the fitted transform to one raw row, writing into `dst` —
+    /// the allocation-free single-point path the serving layer runs per
+    /// streamed datapoint. Element-for-element the same arithmetic as
+    /// [`Normalizer::transform`], so streaming and batch scores agree
+    /// bitwise.
+    pub fn transform_row_into(&self, row: &[f64], dst: &mut [f64]) {
+        assert_eq!(row.len(), self.mins.len(), "dimension mismatch");
+        assert_eq!(row.len(), dst.len(), "destination width mismatch");
+        for (((o, &v), &lo), &range) in dst.iter_mut().zip(row).zip(&self.mins).zip(&self.ranges) {
+            *o = ((v - lo) / range).clamp(-0.5, 1.5);
+        }
+    }
+
     /// Fits on `train` and transforms both series.
     pub fn fit_transform(train: &TimeSeries, test: &TimeSeries) -> (TimeSeries, TimeSeries) {
         let norm = Normalizer::fit(train);
@@ -322,5 +335,21 @@ mod tests {
         assert_eq!(c_range.shape().dims(), c_index.shape().dims());
         assert_eq!(c_range.data(), c_index.data());
         assert_eq!(ws.batch_range(2, 2).shape().dims(), &[0, 3, 2]);
+    }
+
+    #[test]
+    fn transform_row_into_matches_series_transform_bitwise() {
+        let train = TimeSeries::from_columns(&[vec![0.0, 2.0, 4.0], vec![-1.0, 1.0, 3.0]]);
+        let norm = Normalizer::fit(&train);
+        // Includes values outside the training range to cover the clamp.
+        let test = TimeSeries::from_rows(vec![1.0, 0.5, -9.0, 2.0, 7.0, -3.0], 3, 2);
+        let expected = norm.transform(&test);
+        let mut dst = [0.0; 2];
+        for t in 0..test.len() {
+            norm.transform_row_into(test.row(t), &mut dst);
+            for (d, (&a, &b)) in dst.iter().zip(expected.row(t)).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "t={t} dim {d}");
+            }
+        }
     }
 }

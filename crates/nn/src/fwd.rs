@@ -351,6 +351,51 @@ impl<'a> InferCtx<'a> {
     }
 }
 
+/// Reusable input staging for tape-free forwards: one window stack and one
+/// context stack, resized per batch and recycled across calls.
+///
+/// A batch-1 owner (a single-stream online state) calls
+/// [`InferWorkspace::stage`] with `n = 1` every push and keeps reusing the
+/// same two buffers; the serving engine stages `n` rows per cross-stream
+/// round, and because [`Tensor::stage`] reuses storage whenever the element
+/// count matches, consecutive rounds at the same occupancy are
+/// allocation-free. The forward pass holds its input clones only
+/// transiently, so the storage is uniquely owned again by the next call.
+pub struct InferWorkspace {
+    window: Tensor,
+    context: Tensor,
+}
+
+impl InferWorkspace {
+    /// An empty workspace; the first [`InferWorkspace::stage`] call sizes it.
+    pub fn new() -> Self {
+        InferWorkspace { window: Tensor::zeros([1]), context: Tensor::zeros([1]) }
+    }
+
+    /// Sizes the stacks for an `n`-row batch over `[k, m]` windows and
+    /// `[c, m]` contexts and returns their writable storage
+    /// (`n*k*m` and `n*c*m` f64s, stale — the caller fills every row).
+    pub fn stage(&mut self, n: usize, k: usize, c: usize, m: usize) -> (&mut [f64], &mut [f64]) {
+        (self.window.stage([n, k, m]), self.context.stage([n, c, m]))
+    }
+
+    /// The staged `[n, window, m]` input stack.
+    pub fn window(&self) -> &Tensor {
+        &self.window
+    }
+
+    /// The staged `[n, context, m]` input stack.
+    pub fn context(&self) -> &Tensor {
+        &self.context
+    }
+}
+
+impl Default for InferWorkspace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl Fwd for InferCtx<'_> {
     type V = Tensor;
     fn param(&self, id: ParamId) -> Tensor {

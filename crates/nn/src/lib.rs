@@ -51,5 +51,5 @@ pub mod rnn;
 pub mod transformer;
 
 pub use ctx::{Ctx, TrainCtx};
-pub use fwd::{Fwd, InferCtx, Value};
+pub use fwd::{Fwd, InferCtx, InferWorkspace, Value};
 pub use param::{Init, ParamId, ParamStore};

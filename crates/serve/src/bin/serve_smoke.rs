@@ -13,12 +13,12 @@
 //!    resume point on, and that resident streaming state stays bounded.
 //!
 //! Run with `TRANAD_THREADS=1` and `=8` (scripts/verify.sh does both): the
-//! engine fans streams across the thread pool, and the verdicts must not
-//! depend on the thread count.
+//! engine cross-batches streams through shared forwards, and the verdicts
+//! must not depend on the thread count.
 
 use tranad::{train, OnlineVerdict, TrainedTranad, TranadConfig};
 use tranad_data::TimeSeries;
-use tranad_serve::{Engine, ServeConfig};
+use tranad_serve::{Engine, EngineConfig};
 
 const DIMS: usize = 2;
 const STREAMS: [&str; 2] = ["web", "db"];
@@ -68,8 +68,13 @@ fn train_and_save(path: &std::path::Path) {
     trained.save(path).expect("save model");
 }
 
-fn serve_config() -> ServeConfig {
-    ServeConfig { max_queue: 512, batch_max: 16, checkpoint_every: 40, ..ServeConfig::default() }
+fn serve_config() -> EngineConfig {
+    EngineConfig::builder()
+        .max_queue(512)
+        .batch_max(16)
+        .checkpoint_every(40)
+        .build()
+        .expect("valid serve config")
 }
 
 /// Feeds `range` of every stream, running a batch every 16 pushes.
@@ -80,7 +85,8 @@ fn feed(engine: &mut Engine, range: std::ops::Range<usize>) -> Vec<Vec<OnlineVer
             engine.push(name, &point(s, t)).expect("push");
         }
         if i % 16 == 15 {
-            collect(engine.run_batch().expect("batch").verdicts, &mut verdicts);
+            let batch = engine.run_batch().expect("batch").verdicts;
+            collect(engine, batch, &mut verdicts);
         }
     }
     let tail = engine.drain().expect("drain");
@@ -91,9 +97,14 @@ fn feed(engine: &mut Engine, range: std::ops::Range<usize>) -> Vec<Vec<OnlineVer
     verdicts
 }
 
-fn collect(batch: Vec<tranad_serve::StreamVerdicts>, into: &mut [Vec<OnlineVerdict>]) {
+fn collect(
+    engine: &Engine,
+    batch: Vec<tranad_serve::StreamVerdicts>,
+    into: &mut [Vec<OnlineVerdict>],
+) {
     for sv in batch {
-        let s = STREAMS.iter().position(|n| *n == sv.stream).expect("known stream");
+        let name = engine.stream_name(sv.stream).expect("known stream");
+        let s = STREAMS.iter().position(|n| *n == name).expect("known stream");
         into[s].extend(sv.verdicts);
     }
 }
@@ -164,7 +175,8 @@ fn main() {
             }
         }
         if t % 16 == 15 {
-            collect(resumed.run_batch().expect("batch").verdicts, &mut resumed_verdicts);
+            let batch = resumed.run_batch().expect("batch").verdicts;
+            collect(&resumed, batch, &mut resumed_verdicts);
         }
     }
     let tail = resumed.drain().expect("drain");

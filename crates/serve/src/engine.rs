@@ -1,23 +1,49 @@
-//! The micro-batching serving engine.
+//! The cross-stream batching serving engine.
 //!
-//! Producers call [`Engine::push`] (validate + enqueue, never blocking);
-//! a driver loop calls [`Engine::run_batch`], which drains up to
-//! `batch_max` points per stream and scores all streams in parallel over
-//! the `tranad-tensor` pool. Each stream is scored serially inside one
-//! pool task and owns its state exclusively, so results are
-//! bitwise-identical at any `TRANAD_THREADS` — the pool only changes *who*
-//! computes a stream, never *what* is computed. Telemetry from the
-//! parallel region is emitted serially afterwards, keeping live traces
-//! deterministic too.
+//! Producers call [`Engine::push_id`] (validate + copy into pooled row
+//! storage, never blocking); a driver loop calls [`Engine::run_batch`],
+//! which gathers one pending point from **every** active stream per round,
+//! stacks their replication-padded windows and contexts into a single
+//! `[n, window, m]` / `[n, context, m]` batch, runs one tape-free forward
+//! through the shared model for all of them, and scatters the per-row
+//! outputs back into each stream's SPOT/verdict state. Streams with deeper
+//! queues simply stay active for more rounds (ragged batching), so uneven
+//! producers never stall each other.
+//!
+//! Batching is bitwise-safe: every kernel in the forward stack (matmul,
+//! layer-norm, softmax, attention scores, elementwise) reduces per row or
+//! per plane with a summation order that depends only on the row's own
+//! contents, and thread-pool chunk boundaries depend only on problem size —
+//! never on `TRANAD_THREADS` or the number of co-batched rows. Row `r` of a
+//! stacked forward therefore produces exactly the f64 bits a batch-1
+//! forward of that stream would, which
+//! [`Engine::run_batch_per_stream`] — the retained reference
+//! implementation — and `tests/batch_parity.rs` pin across stream counts
+//! and thread counts.
 
 use crate::checkpoint::{self, ServeCheckpoint, StreamState, CHECKPOINT_VERSION};
-use crate::{ServeConfig, ServeError};
-use std::collections::{BTreeMap, VecDeque};
+use crate::{EngineConfig, ServeError};
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 use tranad::{DetectorError, OnlineState, OnlineVerdict, TrainedTranad};
+use tranad_nn::{Fwd, InferCtx, InferWorkspace};
 use tranad_telemetry::Recorder;
-use tranad_tensor::pool;
+
+/// An interned stream handle issued by [`Engine::stream_id`]: a copyable
+/// index into the engine's slot table, valid for the engine's lifetime
+/// (streams are never removed). The hot path deals only in ids; resolve
+/// one back to its name with [`Engine::stream_name`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StreamId(u32);
+
+impl StreamId {
+    /// The handle's dense slot index (0-based, in registration order) —
+    /// handy for indexing caller-side per-stream tables.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
 
 /// The outcome of enqueueing one point.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,8 +65,10 @@ pub enum PushOutcome {
 /// The verdicts one [`Engine::run_batch`] produced for one stream.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StreamVerdicts {
-    /// Stream name.
-    pub stream: String,
+    /// Stream handle; resolve with [`Engine::stream_name`]. An id, not a
+    /// cloned name — batch reports allocate nothing per stream beyond the
+    /// verdicts themselves.
+    pub stream: StreamId,
     /// Stream-local sequence number of `verdicts[0]` (0-based count of
     /// points the stream had consumed before this batch).
     pub first_seq: u64,
@@ -60,31 +88,76 @@ pub struct BatchReport {
     pub checkpoint: Option<PathBuf>,
 }
 
+/// Bounded FIFO of fixed-width rows in one flat allocation: `cap × dims`
+/// f64s allocated once when the stream is registered, so the push hot path
+/// copies the point into pooled row storage instead of allocating a
+/// `Vec<f64>` per point.
+struct RowQueue {
+    buf: Vec<f64>,
+    head: usize,
+    len: usize,
+    dims: usize,
+}
+
+impl RowQueue {
+    fn new(cap: usize, dims: usize) -> RowQueue {
+        RowQueue { buf: vec![0.0; cap * dims], head: 0, len: 0, dims }
+    }
+
+    fn cap(&self) -> usize {
+        self.buf.len() / self.dims
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Appends one row; `false` when full (the caller sheds the point).
+    fn push(&mut self, row: &[f64]) -> bool {
+        let cap = self.cap();
+        if self.len == cap {
+            return false;
+        }
+        let at = (self.head + self.len) % cap;
+        self.buf[at * self.dims..(at + 1) * self.dims].copy_from_slice(row);
+        self.len += 1;
+        true
+    }
+
+    /// The oldest queued row, if any.
+    fn front(&self) -> Option<&[f64]> {
+        (self.len > 0).then(|| &self.buf[self.head * self.dims..(self.head + 1) * self.dims])
+    }
+
+    /// Drops the oldest queued row.
+    fn pop(&mut self) {
+        debug_assert!(self.len > 0, "pop from an empty RowQueue");
+        self.head = (self.head + 1) % self.cap();
+        self.len -= 1;
+    }
+}
+
 /// One served stream: its bounded input queue and streaming state. The
-/// [`OnlineState`] owns the stream's reusable forward workspace (window and
-/// context staging tensors), so scoring a stream across many batches runs
-/// tape-free with no per-point staging allocations — the slot IS the
-/// per-stream workspace, kept alive for the engine's lifetime.
+/// [`OnlineState`] owns the stream's history ring and SPOT thresholders;
+/// the engine owns the (shared) forward workspace, so a slot is exactly
+/// the per-stream state plus its queue.
 struct StreamSlot {
     name: String,
     state: OnlineState,
-    queue: VecDeque<Vec<f64>>,
-    /// Points drained from `queue` for the in-flight batch.
-    pending: Vec<Vec<f64>>,
+    queue: RowQueue,
     /// Verdicts produced by the in-flight batch.
     out: Vec<OnlineVerdict>,
     /// `state.seen()` when the in-flight batch started.
     first_seq: u64,
-    /// First scoring error of the in-flight batch, surfaced after the
-    /// parallel region (deterministically, by slot order).
-    error: Option<DetectorError>,
+    /// Points this batch still owes the stream (planned minus scored).
+    take: usize,
 }
 
-/// A multi-stream, micro-batching, crash-safe serving engine. See the
-/// crate docs for the design.
+/// A multi-stream, cross-stream-batching, crash-safe serving engine. See
+/// the crate docs for the design.
 pub struct Engine {
     trained: TrainedTranad,
-    config: ServeConfig,
+    config: EngineConfig,
     streams: Vec<StreamSlot>,
     /// Stream name → slot index. BTreeMap so checkpoints list streams in a
     /// deterministic (sorted) order.
@@ -99,19 +172,24 @@ pub struct Engine {
     ckpt_dir: Option<PathBuf>,
     ckpt_seq: u64,
     rec: Recorder,
+    /// Reusable `[n, window, m]` / `[n, context, m]` input stacks for the
+    /// cross-stream batched forward, resized per ragged round.
+    workspace: InferWorkspace,
+    /// Scratch: slot indices of the streams active in the current round.
+    active: Vec<usize>,
 }
 
 impl Engine {
     /// Creates an engine with no checkpoint directory (in-memory only).
     /// Traces to the process-global recorder.
-    pub fn new(trained: TrainedTranad, config: ServeConfig) -> Result<Engine, ServeError> {
+    pub fn new(trained: TrainedTranad, config: EngineConfig) -> Result<Engine, ServeError> {
         Self::with_recorder(trained, config, tranad_telemetry::global().clone())
     }
 
     /// [`Engine::new`] with an explicit recorder.
     pub fn with_recorder(
         trained: TrainedTranad,
-        config: ServeConfig,
+        config: EngineConfig,
         rec: Recorder,
     ) -> Result<Engine, ServeError> {
         config.check()?;
@@ -128,6 +206,8 @@ impl Engine {
             ckpt_dir: None,
             ckpt_seq: 0,
             rec,
+            workspace: InferWorkspace::new(),
+            active: Vec::new(),
         })
     }
 
@@ -137,7 +217,7 @@ impl Engine {
     /// an uninterrupted run's. Traces to the process-global recorder.
     pub fn resume(
         trained: TrainedTranad,
-        config: ServeConfig,
+        config: EngineConfig,
         dir: impl AsRef<Path>,
     ) -> Result<Engine, ServeError> {
         Self::resume_with_recorder(trained, config, dir, tranad_telemetry::global().clone())
@@ -146,7 +226,7 @@ impl Engine {
     /// [`Engine::resume`] with an explicit recorder.
     pub fn resume_with_recorder(
         trained: TrainedTranad,
-        config: ServeConfig,
+        config: EngineConfig,
         dir: impl AsRef<Path>,
         rec: Recorder,
     ) -> Result<Engine, ServeError> {
@@ -177,13 +257,54 @@ impl Engine {
         Ok(engine)
     }
 
-    /// Validates and enqueues one raw datapoint for `stream`, creating the
-    /// stream on first sight. Never blocks: when the stream's bounded
-    /// queue is full the point is shed and the caller is told. Malformed
-    /// input (wrong width, NaN/±Inf) is rejected up front with an error —
-    /// it never reaches the queue, so it can never poison stream state.
-    pub fn push(&mut self, stream: &str, point: &[f64]) -> Result<PushOutcome, ServeError> {
+    /// Interns a stream name into a copyable [`StreamId`] handle, creating
+    /// the stream on first sight. Producers should intern once and use
+    /// [`Engine::push_id`] afterwards — the id path does no name lookup.
+    pub fn stream_id(&mut self, stream: &str) -> Result<StreamId, ServeError> {
+        self.ensure_stream(stream).map(|i| StreamId(i as u32))
+    }
+
+    /// Resolves a [`StreamId`] back to its name, or `None` for a handle
+    /// this engine never issued.
+    pub fn stream_name(&self, id: StreamId) -> Option<&str> {
+        self.streams.get(id.index()).map(|s| s.name.as_str())
+    }
+
+    /// Validates and enqueues one raw datapoint for the stream behind
+    /// `id`. Never blocks: when the stream's bounded queue is full the
+    /// point is shed and the caller is told. Malformed input (wrong width,
+    /// NaN/±Inf) is rejected up front with an error — it never reaches the
+    /// queue, so it can never poison stream state. The accepted point is
+    /// copied into the stream's preallocated row storage; nothing is
+    /// allocated on this path.
+    pub fn push_id(&mut self, id: StreamId, point: &[f64]) -> Result<PushOutcome, ServeError> {
         let started = self.rec.enabled().then(Instant::now);
+        self.validate_point(point)?;
+        let slot = self.streams.get_mut(id.index()).ok_or(ServeError::UnknownStream(id))?;
+        let outcome = if slot.queue.push(point) {
+            PushOutcome::Enqueued { depth: slot.queue.len() }
+        } else {
+            self.shed += 1;
+            self.rec.add("serve.shed", 1);
+            PushOutcome::Shed { depth: slot.queue.len() }
+        };
+        if let Some(started) = started {
+            self.rec.observe("serve.push_us", 1e6 * started.elapsed().as_secs_f64());
+        }
+        Ok(outcome)
+    }
+
+    /// Validates and enqueues one raw datapoint for `stream` by name,
+    /// creating the stream on first sight — a thin wrapper that interns
+    /// the name and calls [`Engine::push_id`]. A malformed point is
+    /// rejected *before* the stream is created.
+    pub fn push(&mut self, stream: &str, point: &[f64]) -> Result<PushOutcome, ServeError> {
+        self.validate_point(point)?;
+        let id = self.stream_id(stream)?;
+        self.push_id(id, point)
+    }
+
+    fn validate_point(&self, point: &[f64]) -> Result<(), ServeError> {
         if point.len() != self.dims {
             return Err(DetectorError::DimensionMismatch {
                 expected: self.dims,
@@ -194,76 +315,128 @@ impl Engine {
         if let Some(dim) = point.iter().position(|v| !v.is_finite()) {
             return Err(DetectorError::NonFiniteInput { dim }.into());
         }
-        let max_queue = self.config.max_queue;
-        let i = self.ensure_stream(stream)?;
-        let slot = &mut self.streams[i];
-        let outcome = if slot.queue.len() >= max_queue {
-            self.shed += 1;
-            self.rec.add("serve.shed", 1);
-            PushOutcome::Shed { depth: slot.queue.len() }
-        } else {
-            slot.queue.push_back(point.to_vec());
-            PushOutcome::Enqueued { depth: slot.queue.len() }
-        };
-        if let Some(started) = started {
-            self.rec.observe("serve.push_us", 1e6 * started.elapsed().as_secs_f64());
-        }
-        Ok(outcome)
+        Ok(())
     }
 
-    /// Drains up to `batch_max` queued points per stream and scores all
-    /// streams in parallel over the `tranad-tensor` pool. Scoring runs
-    /// tape-free (`InferCtx`) into each stream's resident workspace, with
-    /// bitwise-identical verdicts to the taped path. Returns the verdicts
-    /// plus what the automatic checkpoint policy did. Verdict values are
-    /// independent of the thread count.
+    /// Drains up to `batch_max` queued points per stream through
+    /// cross-stream batched forwards: each round gathers one pending point
+    /// from every still-active stream, stacks their windows and contexts,
+    /// runs **one** tape-free forward for all of them (`serve.batch_forward`
+    /// span), and scatters the per-row scores back into each stream's SPOT
+    /// state. Streams with deeper queues stay active for more rounds
+    /// (ragged batching). Verdicts are bitwise-identical to
+    /// [`Engine::run_batch_per_stream`] — and independent of the thread
+    /// count — because every kernel reduces per row. Returns the verdicts
+    /// plus what the automatic checkpoint policy did.
     pub fn run_batch(&mut self) -> Result<BatchReport, ServeError> {
         let _scope = self.rec.span_scope();
         let _span = tranad_telemetry::span::enter("serve.batch");
+        let rounds_max = self.plan();
+        let config = *self.trained.model.config();
+        let (k, c, m) = (config.window, config.context, self.dims);
+        let mut rounds = 0u64;
+        let mut occupancy = 0u64;
+        for _ in 0..rounds_max {
+            let Engine { trained, streams, workspace, active, .. } = &mut *self;
+            active.clear();
+            active.extend(
+                streams.iter().enumerate().filter(|(_, s)| s.take > 0).map(|(i, _)| i),
+            );
+            let n = active.len();
+            if n == 0 {
+                break;
+            }
+
+            // Gather: one point per active stream into row r of the stacks.
+            let (wbuf, cbuf) = workspace.stage(n, k, c, m);
+            for (r, &si) in active.iter().enumerate() {
+                let StreamSlot { queue, state, take, .. } = &mut streams[si];
+                let point = queue.front().expect("planned round has a queued row");
+                state.ingest(trained, point)?;
+                queue.pop();
+                state.stage_tail(
+                    &mut wbuf[r * k * m..(r + 1) * k * m],
+                    &mut cbuf[r * c * m..(r + 1) * c * m],
+                );
+                *take -= 1;
+            }
+
+            // One tape-free forward for the whole round.
+            let _fwd = tranad_telemetry::span::enter("serve.batch_forward");
+            let ctx = InferCtx::new(&trained.store);
+            let w = ctx.input(workspace.window().clone());
+            let cx = ctx.input(workspace.context().clone());
+            let out = trained.model.forward(&ctx, &w, &cx);
+            drop(_fwd);
+
+            // Scatter: row r of the output belongs to stream active[r].
+            let (wd, o1, o2h) = (w.data(), out.o1.data(), out.o2_hat.data());
+            for (r, &si) in active.iter().enumerate() {
+                let slot = &mut streams[si];
+                let row = r * k * m..(r + 1) * k * m;
+                let verdict =
+                    slot.state.apply_scores(&wd[row.clone()], &o1[row.clone()], &o2h[row]);
+                slot.out.push(verdict);
+            }
+            rounds += 1;
+            occupancy += n as u64;
+        }
+        self.finish(rounds, occupancy)
+    }
+
+    /// The per-stream reference implementation of [`Engine::run_batch`]:
+    /// identical planning, draining, counters and checkpoint policy, but
+    /// every stream scores its pending points through its own batch-1
+    /// forwards ([`OnlineState::push`]) instead of the cross-stream
+    /// stacked forward. Retained as the baseline the batched path is
+    /// bitwise-gated against (`tests/batch_parity.rs`, `bench-serve`).
+    pub fn run_batch_per_stream(&mut self) -> Result<BatchReport, ServeError> {
+        let _scope = self.rec.span_scope();
+        let _span = tranad_telemetry::span::enter("serve.batch");
+        let rounds = self.plan() as u64;
+        let Engine { trained, streams, .. } = &mut *self;
+        let mut occupancy = 0u64;
+        for slot in streams.iter_mut() {
+            let StreamSlot { queue, state, out, take, .. } = slot;
+            occupancy += *take as u64;
+            for _ in 0..*take {
+                let point = queue.front().expect("planned batch has a queued row");
+                let verdict = state.push(trained, point)?;
+                queue.pop();
+                out.push(verdict);
+            }
+            *take = 0;
+        }
+        self.finish(rounds, occupancy)
+    }
+
+    /// Plans one batch: snapshots each stream's starting sequence number
+    /// and how many of its queued points this batch will take. Returns the
+    /// number of ragged rounds the batched path needs (the deepest take).
+    fn plan(&mut self) -> usize {
         let batch_max = self.config.batch_max;
+        let mut rounds = 0;
         for slot in &mut self.streams {
-            let take = slot.queue.len().min(batch_max);
+            slot.take = slot.queue.len().min(batch_max);
             slot.first_seq = slot.state.seen();
             slot.out.clear();
-            slot.error = None;
-            slot.pending.clear();
-            slot.pending.extend(slot.queue.drain(..take));
+            rounds = rounds.max(slot.take);
         }
+        rounds
+    }
 
-        // Parallel fan-out: one pool task per stream; each task mutates
-        // only its own slot and reads the shared model. Workers run
-        // span-suppressed (see pool::run), so the trace stays identical
-        // across thread counts.
-        let trained = &self.trained;
-        pool::parallel_chunks_mut(&mut self.streams, 1, |_, chunk| {
-            for slot in chunk.iter_mut() {
-                for point in slot.pending.drain(..) {
-                    match slot.state.push(trained, &point) {
-                        Ok(v) => slot.out.push(v),
-                        Err(e) => {
-                            slot.error = Some(e);
-                            break;
-                        }
-                    }
-                }
-            }
-        });
-
-        // Surface the first failure deterministically (slot order). Inputs
-        // are validated at push time, so this only fires on internal bugs.
-        if let Some(slot) = self.streams.iter_mut().find(|s| s.error.is_some()) {
-            return Err(slot.error.take().expect("just matched").into());
-        }
-
+    /// Collects verdicts, updates counters, emits batch telemetry and runs
+    /// the automatic checkpoint policy — shared by both batch paths.
+    fn finish(&mut self, rounds: u64, occupancy: u64) -> Result<BatchReport, ServeError> {
         let mut verdicts = Vec::new();
         let mut processed = 0usize;
-        for slot in &mut self.streams {
+        for (i, slot) in self.streams.iter_mut().enumerate() {
             if slot.out.is_empty() {
                 continue;
             }
             processed += slot.out.len();
             verdicts.push(StreamVerdicts {
-                stream: slot.name.clone(),
+                stream: StreamId(i as u32),
                 first_seq: slot.first_seq,
                 verdicts: std::mem::take(&mut slot.out),
             });
@@ -271,18 +444,23 @@ impl Engine {
         self.processed += processed as u64;
         self.since_ckpt += processed as u64;
 
-        // Telemetry, serially, after the parallel region.
         if self.rec.enabled() {
             let max_depth = self.streams.iter().map(|s| s.queue.len()).max().unwrap_or(0);
             let state_rows: usize = self.streams.iter().map(|s| s.state.buffered_rows()).sum();
             self.rec.gauge("serve.queue_depth", max_depth as f64);
             self.rec.gauge("serve.state_rows", state_rows as f64);
             self.rec.gauge("serve.streams", self.streams.len() as f64);
+            if rounds > 0 {
+                // Mean cross-stream batch width: how many rows the shared
+                // forward amortized its per-op overhead over.
+                self.rec.gauge("serve.batch_occupancy", occupancy as f64 / rounds as f64);
+            }
             let (total_processed, total_shed) = (self.processed, self.shed);
             let n_streams = verdicts.len() as u64;
             self.rec.emit("serve.batch", |e| {
                 e.u64("streams", n_streams)
                     .u64("points", processed as u64)
+                    .u64("rounds", rounds)
                     .u64("processed_total", total_processed)
                     .u64("shed_total", total_shed);
             });
@@ -300,7 +478,7 @@ impl Engine {
     }
 
     /// Runs batches until every queue is empty, concatenating the verdicts
-    /// per stream.
+    /// per stream (keyed by name — a convenience wrapper, not a hot path).
     pub fn drain(&mut self) -> Result<BTreeMap<String, Vec<OnlineVerdict>>, ServeError> {
         let mut all: BTreeMap<String, Vec<OnlineVerdict>> = BTreeMap::new();
         loop {
@@ -309,7 +487,8 @@ impl Engine {
                 return Ok(all);
             }
             for sv in report.verdicts {
-                all.entry(sv.stream).or_default().extend(sv.verdicts);
+                let name = self.stream_name(sv.stream).expect("own report").to_string();
+                all.entry(name).or_default().extend(sv.verdicts);
             }
         }
     }
@@ -384,7 +563,7 @@ impl Engine {
     }
 
     /// The engine's configuration.
-    pub fn config(&self) -> &ServeConfig {
+    pub fn config(&self) -> &EngineConfig {
         &self.config
     }
 
@@ -402,12 +581,39 @@ impl Engine {
         self.streams.push(StreamSlot {
             name,
             state,
-            queue: VecDeque::new(),
-            pending: Vec::new(),
+            queue: RowQueue::new(self.config.max_queue, self.dims),
             out: Vec::new(),
             first_seq: 0,
-            error: None,
+            take: 0,
         });
         i
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::RowQueue;
+
+    #[test]
+    fn row_queue_is_a_bounded_fifo_over_flat_storage() {
+        let mut q = RowQueue::new(3, 2);
+        assert_eq!(q.len(), 0);
+        assert!(q.front().is_none());
+        assert!(q.push(&[1.0, 2.0]));
+        assert!(q.push(&[3.0, 4.0]));
+        assert!(q.push(&[5.0, 6.0]));
+        assert!(!q.push(&[7.0, 8.0]), "a full queue must refuse the row");
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.front().unwrap(), &[1.0, 2.0]);
+        q.pop();
+        // Wrap-around: the freed slot is reused without reallocation.
+        assert!(q.push(&[7.0, 8.0]));
+        let mut drained = Vec::new();
+        while let Some(row) = q.front() {
+            drained.push(row.to_vec());
+            q.pop();
+        }
+        assert_eq!(drained, vec![vec![3.0, 4.0], vec![5.0, 6.0], vec![7.0, 8.0]]);
+        assert_eq!(q.buf.len(), 6, "storage stays a single flat allocation");
     }
 }

@@ -8,12 +8,21 @@
 //! SPOT thresholds per stream). The design targets the ROADMAP's
 //! heavy-traffic serving story:
 //!
-//! - **Micro-batching**: producers enqueue points with [`Engine::push`]
-//!   (cheap — validation plus a bounded-queue append); [`Engine::run_batch`]
-//!   drains up to `batch_max` points per stream and scores the streams in
-//!   parallel over the `tranad-tensor` thread pool. Each stream is scored
-//!   serially within one pool task and touches only its own state, so
-//!   verdicts are bitwise-identical for any `TRANAD_THREADS` value.
+//! - **Cross-stream batched inference**: producers enqueue points with
+//!   [`Engine::push`] / [`Engine::push_id`] (cheap — validation plus a
+//!   copy into pooled row storage); [`Engine::run_batch`] gathers one
+//!   pending point from every active stream per round, stacks their
+//!   windows and contexts into a single `[n, window, m]` / `[n, context,
+//!   m]` batch and runs **one** tape-free forward through the shared model
+//!   for all of them, then scatters the per-row outputs back into each
+//!   stream's SPOT state. Every kernel in the stack reduces per row, so
+//!   the batched forward is bitwise-identical to per-stream forwards —
+//!   [`Engine::run_batch_per_stream`] remains as the reference
+//!   implementation the parity gate compares against.
+//! - **Handle-based stream API**: [`Engine::stream_id`] interns a stream
+//!   name into a copyable [`StreamId`]; the hot path ([`Engine::push_id`],
+//!   [`StreamVerdicts::stream`]) deals only in ids, with
+//!   [`Engine::stream_name`] as the resolver, so no per-batch name clones.
 //! - **Bounded queues with explicit backpressure**: a full queue sheds the
 //!   point ([`PushOutcome::Shed`]) instead of blocking the producer or
 //!   growing without bound; shed totals are counted and traced.
@@ -23,25 +32,34 @@
 //!   checkpoint and continues with bitwise-identical verdicts. Points that
 //!   were processed after the last checkpoint are simply re-scored on
 //!   replay — determinism makes the replay exact.
-//! - **Observability**: `serve.batch` spans/events, `serve.push_us`
-//!   latency histograms, `serve.queue_depth`/`serve.state_rows` gauges and
-//!   `serve.shed`/`serve.checkpoints` counters flow through
-//!   `tranad-telemetry`, so `trace-report` attributes serving time like any
-//!   other pipeline phase.
+//! - **Observability**: `serve.batch` / `serve.batch_forward` spans,
+//!   `serve.push_us` latency histograms, queue-depth / state-rows /
+//!   batch-occupancy gauges and `serve.shed`/`serve.checkpoints` counters
+//!   flow through `tranad-telemetry`, so `trace-report` attributes serving
+//!   time like any other pipeline phase.
+//!
+//! This crate is the one-stop import for serving: the `tranad` core types
+//! its API surface exposes ([`TrainedTranad`], [`OnlineVerdict`],
+//! [`OnlineSnapshot`], [`DetectorError`], [`PersistError`], [`PotConfig`])
+//! are re-exported here. (The re-export points this way — serve → tranad —
+//! because `tranad-serve` depends on the `tranad` facade, not the other
+//! way around.)
 //!
 //! ```no_run
-//! use tranad::TrainedTranad;
-//! use tranad_serve::{Engine, ServeConfig};
+//! use tranad_serve::{Engine, EngineConfig, TrainedTranad};
 //!
 //! let trained = TrainedTranad::load("model.json").unwrap();
-//! let config = ServeConfig { checkpoint_every: 256, ..ServeConfig::default() };
+//! let config = EngineConfig::builder().checkpoint_every(256).build().unwrap();
 //! // Resumes from the latest checkpoint under ./ckpts, if any.
 //! let mut engine = Engine::resume(trained, config, "ckpts").unwrap();
-//! engine.push("web-frontend", &[0.3, 0.7]).unwrap();
+//! let web = engine.stream_id("web-frontend").unwrap();
+//! engine.push_id(web, &[0.3, 0.7]).unwrap();
 //! let report = engine.run_batch().unwrap();
 //! for sv in &report.verdicts {
 //!     for v in &sv.verdicts {
-//!         if v.anomalous { println!("{}: anomaly!", sv.stream); }
+//!         if v.anomalous {
+//!             println!("{}: anomaly!", engine.stream_name(sv.stream).unwrap());
+//!         }
 //!     }
 //! }
 //! ```
@@ -50,15 +68,23 @@ mod checkpoint;
 mod engine;
 
 pub use checkpoint::{ServeCheckpoint, StreamState};
-pub use engine::{BatchReport, Engine, PushOutcome, StreamVerdicts};
+pub use engine::{BatchReport, Engine, PushOutcome, StreamId, StreamVerdicts};
+
+// One import path for serving callers: the `tranad` core types that appear
+// in this crate's API surface.
+pub use tranad::{
+    DetectorError, OnlineSnapshot, OnlineState, OnlineVerdict, PersistError, TrainedTranad,
+};
+pub use tranad_evt::PotConfig;
 
 use std::fmt;
-use tranad::{DetectorError, PersistError};
-use tranad_evt::PotConfig;
 
-/// Serving-layer configuration.
+/// Serving-engine configuration. Construct through
+/// [`EngineConfig::builder`] for up-front validation, consistent with
+/// `TranadConfig` and friends; direct struct construction remains possible
+/// (the [`Engine`] constructors re-run [`EngineConfig::check`]).
 #[derive(Debug, Clone, Copy)]
-pub struct ServeConfig {
+pub struct EngineConfig {
     /// SPOT calibration used when a new stream is first seen.
     pub pot: PotConfig,
     /// Per-stream bounded queue capacity; a push beyond it is shed.
@@ -73,9 +99,9 @@ pub struct ServeConfig {
     pub keep_checkpoints: usize,
 }
 
-impl Default for ServeConfig {
+impl Default for EngineConfig {
     fn default() -> Self {
-        ServeConfig {
+        EngineConfig {
             pot: PotConfig::default(),
             max_queue: 256,
             batch_max: 64,
@@ -85,8 +111,15 @@ impl Default for ServeConfig {
     }
 }
 
-impl ServeConfig {
-    /// Validates the configuration.
+impl EngineConfig {
+    /// Starts a validating builder seeded with the defaults:
+    /// `EngineConfig::builder().batch_max(32).build()?`.
+    pub fn builder() -> EngineConfigBuilder {
+        EngineConfigBuilder { config: EngineConfig::default() }
+    }
+
+    /// Validates the configuration. Prefer constructing through
+    /// [`EngineConfig::builder`], which calls this for you.
     pub fn check(&self) -> Result<(), ServeError> {
         if self.max_queue == 0 {
             return Err(ServeError::InvalidConfig("max_queue must be >= 1".to_string()));
@@ -101,6 +134,54 @@ impl ServeConfig {
     }
 }
 
+/// Validating builder for [`EngineConfig`]. Every setter overrides one
+/// default field; [`EngineConfigBuilder::build`] rejects out-of-range
+/// combinations (`batch_max == 0`, `max_queue == 0`,
+/// `keep_checkpoints == 0`, bad POT parameters) up front instead of
+/// misbehaving at runtime.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfigBuilder {
+    config: EngineConfig,
+}
+
+impl EngineConfigBuilder {
+    /// SPOT calibration used when a new stream is first seen.
+    pub fn pot(mut self, pot: PotConfig) -> Self {
+        self.config.pot = pot;
+        self
+    }
+
+    /// Per-stream bounded queue capacity; a push beyond it is shed.
+    pub fn max_queue(mut self, max_queue: usize) -> Self {
+        self.config.max_queue = max_queue;
+        self
+    }
+
+    /// Maximum points drained per stream per [`Engine::run_batch`] call.
+    pub fn batch_max(mut self, batch_max: usize) -> Self {
+        self.config.batch_max = batch_max;
+        self
+    }
+
+    /// Automatic checkpoint cadence in processed points (`0` disables).
+    pub fn checkpoint_every(mut self, checkpoint_every: u64) -> Self {
+        self.config.checkpoint_every = checkpoint_every;
+        self
+    }
+
+    /// Checkpoint files retained on disk (older ones are pruned).
+    pub fn keep_checkpoints(mut self, keep_checkpoints: usize) -> Self {
+        self.config.keep_checkpoints = keep_checkpoints;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<EngineConfig, ServeError> {
+        self.config.check()?;
+        Ok(self.config)
+    }
+}
+
 /// Why the serving layer could not accept, score or persist work.
 #[derive(Debug)]
 pub enum ServeError {
@@ -110,6 +191,9 @@ pub enum ServeError {
     Persist(PersistError),
     /// The serving configuration is out of range.
     InvalidConfig(String),
+    /// A [`StreamId`] that this engine never issued (stale or from another
+    /// engine) was passed to an id-based method.
+    UnknownStream(StreamId),
 }
 
 impl fmt::Display for ServeError {
@@ -118,6 +202,9 @@ impl fmt::Display for ServeError {
             ServeError::Detector(e) => write!(f, "detector error: {e}"),
             ServeError::Persist(e) => write!(f, "checkpoint error: {e}"),
             ServeError::InvalidConfig(msg) => write!(f, "invalid serve config: {msg}"),
+            ServeError::UnknownStream(id) => {
+                write!(f, "unknown stream handle {id:?} (not issued by this engine)")
+            }
         }
     }
 }
@@ -127,7 +214,7 @@ impl std::error::Error for ServeError {
         match self {
             ServeError::Detector(e) => Some(e),
             ServeError::Persist(e) => Some(e),
-            ServeError::InvalidConfig(_) => None,
+            ServeError::InvalidConfig(_) | ServeError::UnknownStream(_) => None,
         }
     }
 }
@@ -141,5 +228,49 @@ impl From<DetectorError> for ServeError {
 impl From<PersistError> for ServeError {
     fn from(e: PersistError) -> Self {
         ServeError::Persist(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_applies_overrides_and_validates() {
+        let c = EngineConfig::builder()
+            .max_queue(512)
+            .batch_max(16)
+            .checkpoint_every(40)
+            .keep_checkpoints(3)
+            .build()
+            .unwrap();
+        assert_eq!(c.max_queue, 512);
+        assert_eq!(c.batch_max, 16);
+        assert_eq!(c.checkpoint_every, 40);
+        assert_eq!(c.keep_checkpoints, 3);
+
+        assert!(matches!(
+            EngineConfig::builder().batch_max(0).build(),
+            Err(ServeError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            EngineConfig::builder().max_queue(0).build(),
+            Err(ServeError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            EngineConfig::builder().keep_checkpoints(0).build(),
+            Err(ServeError::InvalidConfig(_))
+        ));
+        let bad_pot = PotConfig { q: 2.0, ..PotConfig::default() };
+        assert!(matches!(
+            EngineConfig::builder().pot(bad_pot).build(),
+            Err(ServeError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn checkpoint_every_zero_is_valid() {
+        // 0 means "no automatic checkpoints", not an error.
+        assert_eq!(EngineConfig::builder().build().unwrap().checkpoint_every, 0);
     }
 }

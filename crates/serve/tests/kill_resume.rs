@@ -6,7 +6,7 @@ use std::path::PathBuf;
 use std::sync::OnceLock;
 use tranad::{train, OnlineVerdict, TrainedTranad, TranadConfig};
 use tranad_data::TimeSeries;
-use tranad_serve::{Engine, PushOutcome, ServeConfig, ServeError};
+use tranad_serve::{Engine, EngineConfig, PushOutcome, ServeError};
 use tranad_tensor::pool;
 
 const DIMS: usize = 2;
@@ -72,7 +72,8 @@ fn feed(engine: &mut Engine, streams: &[&str], from: &[usize], to: usize) -> Vec
         }
         if t % 8 == 7 {
             for sv in engine.run_batch().unwrap().verdicts {
-                let s = streams.iter().position(|n| *n == sv.stream).unwrap();
+                let name = engine.stream_name(sv.stream).unwrap().to_string();
+                let s = streams.iter().position(|n| *n == name).unwrap();
                 out[s].extend(sv.verdicts);
             }
         }
@@ -101,11 +102,11 @@ fn kill_and_resume_matches_uninterrupted_run() {
     let total = 160;
     let kill_at = 90;
 
-    let mut reference = Engine::new(load_model(), ServeConfig::default()).unwrap();
+    let mut reference = Engine::new(load_model(), EngineConfig::default()).unwrap();
     let expected = feed(&mut reference, &streams, &[0, 0], total);
 
     let dir = tmp_dir("kr");
-    let config = ServeConfig { checkpoint_every: 24, batch_max: 8, ..ServeConfig::default() };
+    let config = EngineConfig { checkpoint_every: 24, batch_max: 8, ..EngineConfig::default() };
     let mut victim = Engine::resume(load_model(), config, &dir).unwrap();
     for t in 0..kill_at {
         for (s, name) in streams.iter().enumerate() {
@@ -131,12 +132,88 @@ fn kill_and_resume_matches_uninterrupted_run() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Streams with different cadences: stream `s` produces its `n`-th point
+/// at `t = n * (s + 1)`, so queue depths are permanently uneven and every
+/// batch runs ragged rounds (some streams drop out before others).
+fn feed_cadenced(
+    engine: &mut Engine,
+    streams: &[&str],
+    seen: &[usize],
+    to: usize,
+) -> Vec<Vec<OnlineVerdict>> {
+    let mut out = vec![Vec::new(); streams.len()];
+    for t in 0..to {
+        for (s, name) in streams.iter().enumerate() {
+            if t % (s + 1) == 0 && t / (s + 1) >= seen[s] {
+                engine.push(name, &point(s, t)).unwrap();
+            }
+        }
+        if t % 8 == 7 {
+            for sv in engine.run_batch().unwrap().verdicts {
+                let name = engine.stream_name(sv.stream).unwrap().to_string();
+                let s = streams.iter().position(|n| *n == name).unwrap();
+                out[s].extend(sv.verdicts);
+            }
+        }
+    }
+    for (name, vs) in engine.drain().unwrap() {
+        let s = streams.iter().position(|n| *n == name).unwrap();
+        out[s].extend(vs);
+    }
+    out
+}
+
+#[test]
+fn checkpoint_mid_ragged_round_resumes_exactly() {
+    let streams = ["fast", "mid", "slow"];
+    let total = 120;
+    let kill_at = 71;
+    // batch_max 4 with an every-8 batch cadence leaves the fast stream a
+    // growing backlog, so batches are taken mid-backlog at uneven depths;
+    // checkpoint_every 5 fires right after such ragged batches.
+    let config = EngineConfig::builder()
+        .batch_max(4)
+        .checkpoint_every(5)
+        .build()
+        .unwrap();
+
+    let mut reference = Engine::new(load_model(), config).unwrap();
+    let expected = feed_cadenced(&mut reference, &streams, &[0, 0, 0], total);
+
+    let dir = tmp_dir("ragged");
+    let mut victim = Engine::resume(load_model(), config, &dir).unwrap();
+    for t in 0..kill_at {
+        for (s, name) in streams.iter().enumerate() {
+            if t % (s + 1) == 0 {
+                victim.push(name, &point(s, t)).unwrap();
+            }
+        }
+        if t % 8 == 7 {
+            victim.run_batch().unwrap();
+        }
+    }
+    drop(victim); // crash with streams checkpointed at unequal progress
+
+    let mut resumed = Engine::resume(load_model(), config, &dir).unwrap();
+    let seen: Vec<usize> =
+        streams.iter().map(|n| resumed.stream_seen(n).unwrap() as usize).collect();
+    assert!(
+        seen.windows(2).any(|w| w[0] != w[1]),
+        "expected a ragged checkpoint (unequal per-stream progress), got {seen:?}"
+    );
+    let got = feed_cadenced(&mut resumed, &streams, &seen, total);
+    for (s, name) in streams.iter().enumerate() {
+        assert_bitwise_eq(&expected[s][seen[s]..], &got[s], name);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn verdicts_are_identical_across_thread_counts() {
     let streams = ["a", "b", "c"];
     let run = |threads: usize| {
         pool::with_threads(threads, || {
-            let mut engine = Engine::new(load_model(), ServeConfig::default()).unwrap();
+            let mut engine = Engine::new(load_model(), EngineConfig::default()).unwrap();
             feed(&mut engine, &streams, &[0, 0, 0], 96)
         })
     };
@@ -150,7 +227,7 @@ fn verdicts_are_identical_across_thread_counts() {
 
 #[test]
 fn full_queue_sheds_instead_of_blocking_or_growing() {
-    let config = ServeConfig { max_queue: 4, ..ServeConfig::default() };
+    let config = EngineConfig { max_queue: 4, ..EngineConfig::default() };
     let mut engine = Engine::new(load_model(), config).unwrap();
     for t in 0..4 {
         assert_eq!(
@@ -171,7 +248,7 @@ fn full_queue_sheds_instead_of_blocking_or_growing() {
 
 #[test]
 fn malformed_input_is_rejected_before_the_queue() {
-    let mut engine = Engine::new(load_model(), ServeConfig::default()).unwrap();
+    let mut engine = Engine::new(load_model(), EngineConfig::default()).unwrap();
     assert!(matches!(engine.push("s", &[1.0]), Err(ServeError::Detector(_))));
     assert!(matches!(engine.push("s", &[f64::NAN, 0.0]), Err(ServeError::Detector(_))));
     assert!(matches!(engine.push("s", &[0.0, f64::INFINITY]), Err(ServeError::Detector(_))));
@@ -185,11 +262,11 @@ fn malformed_input_is_rejected_before_the_queue() {
 #[test]
 fn old_checkpoints_are_pruned() {
     let dir = tmp_dir("prune");
-    let config = ServeConfig {
+    let config = EngineConfig {
         checkpoint_every: 4,
         batch_max: 4,
         keep_checkpoints: 2,
-        ..ServeConfig::default()
+        ..EngineConfig::default()
     };
     let mut engine = Engine::resume(load_model(), config, &dir).unwrap();
     for t in 0..32 {
@@ -209,7 +286,7 @@ fn old_checkpoints_are_pruned() {
 
 #[test]
 fn bounded_state_over_long_streams() {
-    let mut engine = Engine::new(load_model(), ServeConfig::default()).unwrap();
+    let mut engine = Engine::new(load_model(), EngineConfig::default()).unwrap();
     let cap = {
         let c = engine.trained().model.config();
         c.window.max(c.context)

@@ -754,6 +754,18 @@ impl Tensor {
         }
         out
     }
+
+    /// Prepares this tensor as a staging buffer of `shape` and returns the
+    /// writable storage: reused in place when uniquely owned with a
+    /// matching element count (the steady-state case for a workspace
+    /// tensor), swapped for a pooled buffer otherwise. Contents are stale
+    /// and must be fully overwritten by the caller. This is the public
+    /// entry point for workspaces whose row count changes per batch — the
+    /// serving engine sizes its `[n, window, m]` / `[n, context, m]` input
+    /// stacks through it every ragged round.
+    pub fn stage(&mut self, shape: impl Into<Shape>) -> &mut [f64] {
+        take_out(self, shape.into())
+    }
 }
 
 /// Prepares `out` to receive a result of `shape`: reuses its storage in

@@ -15,11 +15,9 @@
 use crate::error::DetectorError;
 use crate::train::TrainedTranad;
 use std::time::Instant;
-use tranad_data::TimeSeries;
 use tranad_evt::{PotConfig, Spot, SpotParts};
-use tranad_nn::{Fwd, InferCtx};
+use tranad_nn::{Fwd, InferCtx, InferWorkspace};
 use tranad_telemetry::Recorder;
-use tranad_tensor::Tensor;
 
 /// The verdict for one streamed datapoint.
 #[derive(Debug, Clone, PartialEq)]
@@ -75,13 +73,13 @@ pub struct OnlineState {
     seen: u64,
     spots: Vec<Spot>,
     dims: usize,
-    /// Reusable `[1, window, dims]` / `[1, context, dims]` staging tensors:
-    /// each push fills them in place instead of rebuilding the flattened
-    /// window and context from scratch. Their storage is uniquely owned
-    /// again by the time the next push runs (the forward pass holds its
-    /// clone only transiently), so the in-place write never copies.
-    window_stage: Tensor,
-    context_stage: Tensor,
+    /// Reusable batch-1 staging workspace: each push fills its
+    /// `[1, window, dims]` / `[1, context, dims]` stacks in place instead
+    /// of rebuilding the flattened window and context from scratch. The
+    /// storage is uniquely owned again by the time the next push runs (the
+    /// forward pass holds its clone only transiently), so the in-place
+    /// write never copies.
+    stage: InferWorkspace,
 }
 
 impl OnlineState {
@@ -104,8 +102,7 @@ impl OnlineState {
             seen: 0,
             spots,
             dims,
-            window_stage: Tensor::zeros([1, config.window, dims]),
-            context_stage: Tensor::zeros([1, config.context, dims]),
+            stage: InferWorkspace::new(),
         })
     }
 
@@ -136,11 +133,54 @@ impl OnlineState {
     /// width does not match the model and [`DetectorError::NonFiniteInput`]
     /// when it contains NaN/±Inf; both checks run before any state is
     /// touched, so the stream continues cleanly on the next valid point.
+    ///
+    /// This is the composition of the split halves ([`OnlineState::ingest`],
+    /// [`OnlineState::stage_tail`], a batch-1 tape-free forward, then
+    /// [`OnlineState::apply_scores`]) and doubles as the per-stream
+    /// reference implementation the serving engine's cross-stream batched
+    /// forward is bitwise-gated against.
     pub fn push(
         &mut self,
         trained: &TrainedTranad,
         datapoint: &[f64],
     ) -> Result<OnlineVerdict, DetectorError> {
+        self.ingest(trained, datapoint)?;
+
+        // Assemble the current window and context with replication padding
+        // (exactly §3.2's W_t and C_t) in the per-state staging workspace.
+        let config = trained.model.config();
+        let (wdst, cdst) = self.stage.stage(1, config.window, config.context, self.dims);
+        fill_tail(&self.rows, self.start, wdst);
+        fill_tail(&self.rows, self.start, cdst);
+
+        // Scoring never backpropagates, so the forward pass runs tape-free:
+        // plain tensor kernels over pooled buffers, no tape nodes or
+        // backward closures, bitwise-identical outputs to the taped path.
+        let _fwd = tranad_telemetry::span::enter("infer.forward");
+        let ctx = InferCtx::new(&trained.store);
+        let w = ctx.input(self.stage.window().clone());
+        let c = ctx.input(self.stage.context().clone());
+        let out = trained.model.forward(&ctx, &w, &c);
+        drop(_fwd);
+        Ok(self.apply_scores(w.data(), out.o1.data(), out.o2_hat.data()))
+    }
+
+    /// The stage-window half of a push, step 1: validates one raw
+    /// datapoint, normalizes it with the *training* normalizer (Eq. 1:
+    /// ranges known a-priori) and appends it to the bounded history ring —
+    /// without running a forward pass. A caller that owns the forward (the
+    /// serving engine stacking many streams into one batch) follows with
+    /// [`OnlineState::stage_tail`] and, after the forward,
+    /// [`OnlineState::apply_scores`].
+    ///
+    /// Validation runs before any state is touched, exactly as in
+    /// [`OnlineState::push`]. In steady state (ring full) this allocates
+    /// nothing: the normalized row overwrites the evicted one in place.
+    pub fn ingest(
+        &mut self,
+        trained: &TrainedTranad,
+        datapoint: &[f64],
+    ) -> Result<(), DetectorError> {
         if datapoint.len() != self.dims {
             return Err(DetectorError::DimensionMismatch {
                 expected: self.dims,
@@ -150,45 +190,61 @@ impl OnlineState {
         if let Some(dim) = datapoint.iter().position(|v| !v.is_finite()) {
             return Err(DetectorError::NonFiniteInput { dim });
         }
-        // Normalize with the *training* normalizer (Eq. 1: ranges known
-        // a-priori), then append to the bounded ring.
-        let row = TimeSeries::from_rows(datapoint.to_vec(), 1, self.dims);
-        let normalized = trained.normalizer.transform(&row);
-        self.insert(normalized.row(0).to_vec());
+        if self.rows.len() < self.cap {
+            let mut row = vec![0.0; self.dims];
+            trained.normalizer.transform_row_into(datapoint, &mut row);
+            self.rows.push(row);
+        } else {
+            trained.normalizer.transform_row_into(datapoint, &mut self.rows[self.start]);
+            self.start = (self.start + 1) % self.cap;
+        }
+        self.seen += 1;
+        Ok(())
+    }
 
-        let k = trained.model.config().window;
+    /// The stage-window half of a push, step 2: writes the
+    /// replication-padded window and context tails (§3.2's `W_t` and `C_t`
+    /// — exactly what the batch-1 forward of [`OnlineState::push`]
+    /// consumes) into the caller's flattened `[window, dims]` /
+    /// `[context, dims]` slices, typically one row of a cross-stream batch
+    /// stack. Call after [`OnlineState::ingest`]; panics if no point was
+    /// ever ingested.
+    pub fn stage_tail(&self, wdst: &mut [f64], cdst: &mut [f64]) {
+        assert!(!self.rows.is_empty(), "stage_tail before any ingest");
+        fill_tail(&self.rows, self.start, wdst);
+        fill_tail(&self.rows, self.start, cdst);
+    }
 
-        // Assemble the current window and context with replication padding
-        // (exactly §3.2's W_t and C_t) in the per-state staging tensors.
-        fill_tail(&self.rows, self.start, self.window_stage.data_mut());
-        fill_tail(&self.rows, self.start, self.context_stage.data_mut());
-
-        // Scoring never backpropagates, so the forward pass runs tape-free:
-        // plain tensor kernels over pooled buffers, no tape nodes or
-        // backward closures, bitwise-identical outputs to the taped path.
-        let _fwd = tranad_telemetry::span::enter("infer.forward");
-        let ctx = InferCtx::new(&trained.store);
-        let w = ctx.input(self.window_stage.clone());
-        let c = ctx.input(self.context_stage.clone());
-        let out = trained.model.forward(&ctx, &w, &c);
-
-        let base = (k - 1) * self.dims;
+    /// The apply half of a push: turns one stream's row of a (possibly
+    /// cross-stream) forward output into per-dimension scores and steps
+    /// the streaming SPOT thresholders. `w_row`, `o1_row` and `o2_hat_row`
+    /// are this stream's flattened `[window, dims]` slices of the model
+    /// input and outputs. The arithmetic is shared with
+    /// [`OnlineState::push`], so a caller that batches `n` streams into
+    /// one `[n, window, dims]` forward and applies each row gets
+    /// bitwise-identical verdicts to `n` separate pushes.
+    pub fn apply_scores(
+        &mut self,
+        w_row: &[f64],
+        o1_row: &[f64],
+        o2_hat_row: &[f64],
+    ) -> OnlineVerdict {
+        let base = w_row.len() - self.dims;
         let scores: Vec<f64> = (0..self.dims)
             .map(|d| {
-                let target = w.data()[base + d];
-                let e1 = out.o1.data()[base + d] - target;
-                let e2 = out.o2_hat.data()[base + d] - target;
+                let target = w_row[base + d];
+                let e1 = o1_row[base + d] - target;
+                let e2 = o2_hat_row[base + d] - target;
                 0.5 * e1 * e1 + 0.5 * e2 * e2
             })
             .collect();
-        drop(_fwd);
         let dim_labels: Vec<bool> = scores
             .iter()
             .zip(self.spots.iter_mut())
             .map(|(&s, spot)| spot.step(s))
             .collect();
         let anomalous = dim_labels.iter().any(|&b| b);
-        Ok(OnlineVerdict { scores, dim_labels, anomalous })
+        OnlineVerdict { scores, dim_labels, anomalous }
     }
 
     /// Captures the complete streaming state for checkpointing.
@@ -253,20 +309,8 @@ impl OnlineState {
             seen: snap.seen,
             spots,
             dims,
-            window_stage: Tensor::zeros([1, config.window, dims]),
-            context_stage: Tensor::zeros([1, config.context, dims]),
+            stage: InferWorkspace::new(),
         })
-    }
-
-    /// Appends a row, overwriting the oldest once the ring is full.
-    fn insert(&mut self, row: Vec<f64>) {
-        if self.rows.len() < self.cap {
-            self.rows.push(row);
-        } else {
-            self.rows[self.start] = row;
-            self.start = (self.start + 1) % self.cap;
-        }
-        self.seen += 1;
     }
 
     /// The `i`-th buffered row in logical order (0 = oldest).
@@ -405,7 +449,7 @@ mod tests {
     use super::*;
     use crate::config::TranadConfig;
     use crate::train::train;
-    use tranad_data::SignalRng;
+    use tranad_data::{SignalRng, TimeSeries};
 
     fn trained_model() -> TrainedTranad {
         let mut rng = SignalRng::new(11);

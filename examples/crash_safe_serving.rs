@@ -1,14 +1,14 @@
 //! Crash-safe serving: train once, then serve two telemetry streams through
-//! the micro-batching [`tranad_serve::Engine`] with periodic checkpoints,
-//! "crash" the service mid-stream, and resume from the latest checkpoint —
-//! the resumed engine picks up exactly where the checkpoint says it
-//! stopped and keeps flagging anomalies.
+//! the cross-stream-batching [`tranad_serve::Engine`] with periodic
+//! checkpoints, "crash" the service mid-stream, and resume from the latest
+//! checkpoint — the resumed engine picks up exactly where the checkpoint
+//! says it stopped and keeps flagging anomalies.
 //!
 //! Run with: `cargo run --release --example crash_safe_serving`
 
 use tranad::{train, TrainedTranad, TranadConfig};
 use tranad_data::TimeSeries;
-use tranad_serve::{Engine, PushOutcome, ServeConfig};
+use tranad_serve::{Engine, EngineConfig, PushOutcome};
 
 /// One datapoint of a stream — a pure function of (stream, t), so the
 /// producer can regenerate any suffix after a crash.
@@ -38,15 +38,18 @@ fn main() {
     let ckpt_dir = std::env::temp_dir().join("tranad_serve_demo_ckpts");
     std::fs::remove_dir_all(&ckpt_dir).ok();
 
-    // Serving phase: micro-batching engine over two streams, checkpointing
-    // every 128 scored points into ckpt_dir.
-    let serve_config = ServeConfig { checkpoint_every: 128, ..ServeConfig::default() };
+    // Serving phase: cross-stream batching engine over two streams,
+    // checkpointing every 128 scored points into ckpt_dir. Producers intern
+    // their stream name once and push through the copyable handle.
+    let serve_config =
+        EngineConfig::builder().checkpoint_every(128).build().expect("valid serve config");
     let streams = ["web", "db"];
     let loaded = TrainedTranad::load(&model_path).expect("load model");
     let mut engine = Engine::resume(loaded, serve_config, &ckpt_dir).expect("engine");
+    let ids = streams.map(|name| engine.stream_id(name).expect("stream id"));
     for t in 600..800 {
         for (s, name) in streams.iter().enumerate() {
-            match engine.push(name, &point(s, t)).expect("push") {
+            match engine.push_id(ids[s], &point(s, t)).expect("push") {
                 PushOutcome::Enqueued { .. } => {}
                 PushOutcome::Shed { depth } => {
                     println!("t={t}: {name} shed a point (queue full at {depth})")
@@ -83,12 +86,13 @@ fn main() {
         }
         if t % 16 == 15 {
             for sv in engine.run_batch().expect("batch").verdicts {
+                let name = engine.stream_name(sv.stream).expect("own stream");
                 for (i, v) in sv.verdicts.iter().enumerate() {
                     if v.anomalous {
                         alarms += 1;
                         if alarms <= 3 {
                             let seq = sv.first_seq as usize + i;
-                            println!("{} seq={seq}: ANOMALY (dims {:?})", sv.stream, v.dim_labels);
+                            println!("{name} seq={seq}: ANOMALY (dims {:?})", v.dim_labels);
                         }
                     }
                 }

@@ -29,6 +29,14 @@ echo "==> serve kill-and-resume smoke (bitwise verdict equality, 1 and 8 threads
 TRANAD_THREADS=1 cargo run --release -q -p tranad-serve --bin serve-smoke
 TRANAD_THREADS=8 cargo run --release -q -p tranad-serve --bin serve-smoke
 
+echo "==> cross-stream batched vs per-stream serving parity (bitwise; TRANAD_THREADS=1 vs 8)"
+TRANAD_THREADS=1 cargo test --release -q -p tranad-serve --test batch_parity
+TRANAD_THREADS=8 cargo test --release -q -p tranad-serve --test batch_parity
+
+echo "==> batched serving throughput gate (>= 1.5x per-stream at 32 streams)"
+TRANAD_THREADS=1 cargo run --release -q -p tranad-bench --bin bench-serve -- \
+  --out results/serve_throughput.json --min-speedup 1.5
+
 echo "==> trace smoke-run (TRANAD_TRACE JSONL well-formedness)"
 TRACE_TMP="$(mktemp /tmp/tranad_trace.XXXXXX.jsonl)"
 TRANAD_TRACE="$TRACE_TMP" cargo run --release -q -p tranad-bench --bin trace-smoke
@@ -45,7 +53,7 @@ test -s "$REPORT_TMP/trace.chrome.json"
 test -s "$REPORT_TMP/flame.svg"
 rm -rf "$REPORT_TMP" "$TRACE_TMP"
 
-echo "==> allocation budgets (count-alloc; training step + tape-free online push, results/alloc_budget.json)"
+echo "==> allocation budgets (count-alloc; training step + online push + batched serve, results/alloc_budget.json)"
 cargo run --release -q -p tranad-bench --features count-alloc --bin bench-alloc
 
 echo "==> verify OK"
