@@ -8,17 +8,32 @@
 //! amortization: every per-op overhead (shape checks, pool dispatch,
 //! workspace staging) is paid once per 32-row round instead of 32 times.
 //!
+//! A third engine runs the batched path with a live `tranad-obs` exporter
+//! attached and a scraper thread hitting its `/metrics` endpoint every
+//! millisecond mid-run — the "observed in production" configuration. Its
+//! throughput is compared against the unobserved batched engine from the
+//! same run (interleaved reps, so clock drift cancels), which keeps the
+//! exporter-overhead gate meaningful across machines.
+//!
 //! With `--out <path>` the comparison is recorded as JSON (the committed
 //! copy lives at `results/serve_throughput.json`); with `--min-speedup
 //! <x>` the run fails (exit 1) if batched serving is not at least `x`
 //! times the per-stream throughput — scripts/verify.sh gates at 1.5x.
+//! With `--max-obs-overhead <frac>` the run fails if the exporter-attached
+//! engine's throughput falls more than that fraction below the unobserved
+//! batched engine — scripts/verify.sh gates at 0.05 (5%).
 //!
-//! Usage: `cargo run --release -p tranad-bench --bin bench-serve [-- --out results/serve_throughput.json --min-speedup 1.5]`
+//! Usage: `cargo run --release -p tranad-bench --bin bench-serve [-- --out results/serve_throughput.json --min-speedup 1.5 --max-obs-overhead 0.05]`
 
-use std::time::Instant;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 use tranad::config::TranadConfig;
 use tranad::train::{train, TrainedTranad};
 use tranad_data::{SignalRng, TimeSeries};
+use tranad_obs::Exporter;
 use tranad_serve::{BatchReport, Engine, EngineConfig, ServeError, StreamId};
 
 const DIMS: usize = 4;
@@ -107,6 +122,27 @@ fn timed_cycle(
     secs
 }
 
+/// Scrapes `/metrics` in a loop every ~1ms until told to stop — the
+/// adversarial-but-realistic load the exporter-overhead gate measures
+/// under. Each scrape is a full connect / request / read cycle.
+fn spawn_scraper(addr: std::net::SocketAddr, stop: Arc<AtomicBool>) -> std::thread::JoinHandle<u64> {
+    std::thread::spawn(move || {
+        let mut scrapes = 0u64;
+        let mut buf = Vec::new();
+        while !stop.load(Ordering::Relaxed) {
+            if let Ok(mut conn) = TcpStream::connect(addr) {
+                let _ = conn.write_all(b"GET /metrics HTTP/1.0\r\n\r\n");
+                buf.clear();
+                if conn.read_to_end(&mut buf).is_ok() && !buf.is_empty() {
+                    scrapes += 1;
+                }
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        scrapes
+    })
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let flag = |name: &str| {
@@ -117,13 +153,17 @@ fn main() {
             })
         })
     };
-    let out_path = flag("--out");
-    let min_speedup: Option<f64> = flag("--min-speedup").map(|v| {
-        v.parse().unwrap_or_else(|_| {
-            eprintln!("--min-speedup requires a number, got {v:?}");
-            std::process::exit(2);
+    let parse_f64 = |name: &'static str| {
+        flag(name).map(|v| {
+            v.parse::<f64>().unwrap_or_else(|_| {
+                eprintln!("{name} requires a number, got {v:?}");
+                std::process::exit(2);
+            })
         })
-    });
+    };
+    let out_path = flag("--out");
+    let min_speedup = parse_f64("--min-speedup");
+    let max_obs_overhead = parse_f64("--max-obs-overhead");
 
     let train_series = toy_series(800, DIMS, 1);
     // A lean low-latency serving model (the paper's defaults are sized for
@@ -150,25 +190,48 @@ fn main() {
     // drift over the run hits both paths alike; best-of-`reps` each.
     let (mut ref_engine, ref_ids) = build_engine(&model_path);
     let (mut bat_engine, bat_ids) = build_engine(&model_path);
+    let (mut obs_engine, obs_ids) = build_engine(&model_path);
     std::fs::remove_file(&model_path).ok();
+
+    // The observed engine serves a live exporter that a scraper thread
+    // hammers for the whole measurement window.
+    let exporter = Exporter::bind(
+        "127.0.0.1:0",
+        tranad_telemetry::global().clone(),
+        Some(obs_engine.obs()),
+    )
+    .expect("bind exporter");
+    let stop = Arc::new(AtomicBool::new(false));
+    let scraper = spawn_scraper(exporter.addr(), stop.clone());
+
     let expected = STREAMS * POINTS_PER_STREAM;
     let warm = cycle(&mut ref_engine, &ref_ids, 0, Engine::run_batch_per_stream);
     assert_eq!(warm, expected, "warm-up lost points");
     let warm = cycle(&mut bat_engine, &bat_ids, 0, Engine::run_batch);
     assert_eq!(warm, expected, "warm-up lost points");
+    let warm = cycle(&mut obs_engine, &obs_ids, 0, Engine::run_batch);
+    assert_eq!(warm, expected, "warm-up lost points");
     let mut per_stream_s = f64::INFINITY;
     let mut batched_s = f64::INFINITY;
+    let mut obs_s = f64::INFINITY;
     for rep in 0..reps {
         per_stream_s = per_stream_s
             .min(timed_cycle(&mut ref_engine, &ref_ids, rep + 1, Engine::run_batch_per_stream));
         batched_s =
             batched_s.min(timed_cycle(&mut bat_engine, &bat_ids, rep + 1, Engine::run_batch));
+        obs_s = obs_s.min(timed_cycle(&mut obs_engine, &obs_ids, rep + 1, Engine::run_batch));
     }
+    stop.store(true, Ordering::Relaxed);
+    let scrapes = scraper.join().expect("scraper thread");
+    exporter.shutdown();
+    assert!(scrapes > 0, "the scraper never completed a scrape — the overhead number is vacuous");
 
     let points = expected as f64;
     let per_stream_pps = points / per_stream_s;
     let batched_pps = points / batched_s;
+    let obs_pps = points / obs_s;
     let speedup = batched_pps / per_stream_pps;
+    let overhead = 1.0 - obs_pps / batched_pps;
     println!(
         "per-stream: {per_stream_pps:.0} points/s ({:.1} us/point)",
         1e6 * per_stream_s / points
@@ -177,12 +240,18 @@ fn main() {
         "batched:    {batched_pps:.0} points/s ({:.1} us/point) — {speedup:.2}x",
         1e6 * batched_s / points
     );
+    println!(
+        "observed:   {obs_pps:.0} points/s ({:.1} us/point) — {:.1}% exporter overhead, {scrapes} scrapes",
+        1e6 * obs_s / points,
+        100.0 * overhead,
+    );
 
     if let Some(path) = out_path {
         let json = format!(
-            "{{\n  \"comment\": \"Serving throughput, per-stream batch-1 forwards vs cross-stream batched forwards, from `bench-serve` (best of {reps} cycles; {STREAMS} streams x {POINTS_PER_STREAM} points, {DIMS} dims, single engine thread). Both paths produce bitwise-identical verdicts (tests/batch_parity.rs).\",\n  \"streams\": {STREAMS},\n  \"points_per_stream\": {POINTS_PER_STREAM},\n  \"per_stream\": {{ \"points_per_s\": {per_stream_pps:.0}, \"us_per_point\": {:.1} }},\n  \"batched\": {{ \"points_per_s\": {batched_pps:.0}, \"us_per_point\": {:.1} }},\n  \"speedup\": {speedup:.2}\n}}\n",
+            "{{\n  \"comment\": \"Serving throughput, per-stream batch-1 forwards vs cross-stream batched forwards, from `bench-serve` (best of {reps} cycles; {STREAMS} streams x {POINTS_PER_STREAM} points, {DIMS} dims, single engine thread). Both paths produce bitwise-identical verdicts (tests/batch_parity.rs). `batched_with_exporter` is the batched path with a live tranad-obs exporter attached and /metrics scraped every ~1ms; `exporter_overhead` is its fractional throughput loss vs the unobserved batched engine in the same run.\",\n  \"streams\": {STREAMS},\n  \"points_per_stream\": {POINTS_PER_STREAM},\n  \"per_stream\": {{ \"points_per_s\": {per_stream_pps:.0}, \"us_per_point\": {:.1} }},\n  \"batched\": {{ \"points_per_s\": {batched_pps:.0}, \"us_per_point\": {:.1} }},\n  \"batched_with_exporter\": {{ \"points_per_s\": {obs_pps:.0}, \"us_per_point\": {:.1}, \"scrapes\": {scrapes} }},\n  \"speedup\": {speedup:.2},\n  \"exporter_overhead\": {overhead:.3}\n}}\n",
             1e6 * per_stream_s / points,
             1e6 * batched_s / points,
+            1e6 * obs_s / points,
         );
         std::fs::write(&path, json).expect("write --out file");
         println!("wrote {path}");
@@ -193,5 +262,16 @@ fn main() {
             std::process::exit(1);
         }
         println!("speedup gate OK ({speedup:.2}x >= {min:.2}x)");
+    }
+    if let Some(max) = max_obs_overhead {
+        if overhead > max {
+            eprintln!(
+                "FAIL: exporter overhead {:.1}% exceeds the {:.1}% gate",
+                100.0 * overhead,
+                100.0 * max
+            );
+            std::process::exit(1);
+        }
+        println!("exporter overhead gate OK ({:.1}% <= {:.1}%)", 100.0 * overhead, 100.0 * max);
     }
 }

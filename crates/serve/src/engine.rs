@@ -25,9 +25,11 @@ use crate::checkpoint::{self, ServeCheckpoint, StreamState, CHECKPOINT_VERSION};
 use crate::{EngineConfig, ServeError};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Instant;
 use tranad::{DetectorError, OnlineState, OnlineVerdict, TrainedTranad};
 use tranad_nn::{Fwd, InferCtx, InferWorkspace};
+use tranad_obs::{EngineObs, EngineStatus};
 use tranad_telemetry::Recorder;
 
 /// An interned stream handle issued by [`Engine::stream_id`]: a copyable
@@ -151,6 +153,15 @@ struct StreamSlot {
     first_seq: u64,
     /// Points this batch still owes the stream (planned minus scored).
     take: usize,
+    /// Lifetime points shed by this stream's bounded queue.
+    shed: u64,
+    /// Lifetime points whose verdict was anomalous.
+    anomalies: u64,
+    /// The most recent verdict's anomaly score (max across dimensions;
+    /// NaN until the first verdict).
+    last_score: f64,
+    /// Highest queue depth ever observed.
+    queue_hwm: usize,
 }
 
 /// A multi-stream, cross-stream-batching, crash-safe serving engine. See
@@ -171,6 +182,14 @@ pub struct Engine {
     since_ckpt: u64,
     ckpt_dir: Option<PathBuf>,
     ckpt_seq: u64,
+    /// Batches completed (either path).
+    batches: u64,
+    /// Shared observability state: [`Engine::run_batch`] publishes the
+    /// per-stream stats table and health inputs here after every batch;
+    /// the `tranad-obs` exporter (and anything else holding the `Arc`)
+    /// reads it with a bounded lock hold, so scraping never blocks the
+    /// scoring hot path.
+    obs: Arc<EngineObs>,
     rec: Recorder,
     /// Reusable `[n, window, m]` / `[n, context, m]` input stacks for the
     /// cross-stream batched forward, resized per ragged round.
@@ -205,6 +224,8 @@ impl Engine {
             since_ckpt: 0,
             ckpt_dir: None,
             ckpt_seq: 0,
+            batches: 0,
+            obs: Arc::new(EngineObs::new(config.health)),
             rec,
             workspace: InferWorkspace::new(),
             active: Vec::new(),
@@ -282,8 +303,10 @@ impl Engine {
         self.validate_point(point)?;
         let slot = self.streams.get_mut(id.index()).ok_or(ServeError::UnknownStream(id))?;
         let outcome = if slot.queue.push(point) {
+            slot.queue_hwm = slot.queue_hwm.max(slot.queue.len());
             PushOutcome::Enqueued { depth: slot.queue.len() }
         } else {
+            slot.shed += 1;
             self.shed += 1;
             self.rec.add("serve.shed", 1);
             PushOutcome::Shed { depth: slot.queue.len() }
@@ -434,6 +457,10 @@ impl Engine {
             if slot.out.is_empty() {
                 continue;
             }
+            slot.anomalies += slot.out.iter().filter(|v| v.anomalous).count() as u64;
+            if let Some(last) = slot.out.last() {
+                slot.last_score = last.scores.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+            }
             processed += slot.out.len();
             verdicts.push(StreamVerdicts {
                 stream: StreamId(i as u32),
@@ -443,6 +470,7 @@ impl Engine {
         }
         self.processed += processed as u64;
         self.since_ckpt += processed as u64;
+        self.batches += 1;
 
         if self.rec.enabled() {
             let max_depth = self.streams.iter().map(|s| s.queue.len()).max().unwrap_or(0);
@@ -474,7 +502,48 @@ impl Engine {
         } else {
             None
         };
+        // Publish after the checkpoint policy so the exported checkpoint
+        // lag reflects this batch's outcome, then flush the sink: a kill
+        // between batches must lose no tail events from a file-backed
+        // trace (JsonlSink flushes through to disk here).
+        self.publish_obs();
+        self.rec.flush();
         Ok(BatchReport { processed, verdicts, checkpoint })
+    }
+
+    /// Publishes the engine's per-stream stats table and health inputs
+    /// into the shared [`EngineObs`] state. In-place updates under one
+    /// bounded lock hold; allocation-free in steady state (stream names
+    /// were cloned at registration).
+    fn publish_obs(&self) {
+        let max_depth = self.streams.iter().map(|s| s.queue.len()).max().unwrap_or(0);
+        let status = EngineStatus {
+            streams: self.streams.len(),
+            processed: self.processed,
+            shed: self.shed,
+            batches: self.batches,
+            queue_saturation: max_depth as f64 / self.config.max_queue as f64,
+            checkpoint_lag: self.since_ckpt,
+        };
+        let streams = &self.streams;
+        self.obs.publish_batch(status, |i, row| {
+            let slot = &streams[i];
+            row.seen = slot.state.seen();
+            row.queued = slot.queue.len();
+            row.queue_hwm = slot.queue_hwm;
+            row.shed = slot.shed;
+            row.anomalies = slot.anomalies;
+            row.last_score = slot.last_score;
+            row.threshold = slot.state.spot_threshold_max();
+        });
+    }
+
+    /// The engine's shared observability state: hand the `Arc` to a
+    /// [`tranad_obs::Exporter`] to serve `/metrics`, `/healthz`, `/readyz`
+    /// and `/streams` for this engine. Reading it never blocks
+    /// [`Engine::run_batch`] beyond the bounded publish lock.
+    pub fn obs(&self) -> Arc<EngineObs> {
+        self.obs.clone()
     }
 
     /// Runs batches until every queue is empty, concatenating the verdicts
@@ -520,6 +589,7 @@ impl Engine {
         };
         let path = checkpoint::write(&dir, &ck, self.config.keep_checkpoints)?;
         self.since_ckpt = 0;
+        self.obs.note_checkpoint();
         self.rec.add("serve.checkpoints", 1);
         Ok(Some(path))
     }
@@ -578,6 +648,7 @@ impl Engine {
     fn register(&mut self, name: String, state: OnlineState) -> usize {
         let i = self.streams.len();
         self.index.insert(name.clone(), i);
+        self.obs.register_stream(&name);
         self.streams.push(StreamSlot {
             name,
             state,
@@ -585,6 +656,10 @@ impl Engine {
             out: Vec::new(),
             first_seq: 0,
             take: 0,
+            shed: 0,
+            anomalies: 0,
+            last_score: f64::NAN,
+            queue_hwm: 0,
         });
         i
     }

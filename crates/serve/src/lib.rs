@@ -76,6 +76,9 @@ pub use tranad::{
     DetectorError, OnlineSnapshot, OnlineState, OnlineVerdict, PersistError, TrainedTranad,
 };
 pub use tranad_evt::PotConfig;
+// The observability types the engine's API surfaces: [`Engine::obs`] hands
+// out an `Arc<EngineObs>` and `EngineConfig.health` carries thresholds.
+pub use tranad_obs::{EngineObs, EngineStatus, HealthConfig, HealthReport, StreamStats};
 
 use std::fmt;
 
@@ -97,6 +100,9 @@ pub struct EngineConfig {
     pub checkpoint_every: u64,
     /// Checkpoint files retained on disk (older ones are pruned).
     pub keep_checkpoints: usize,
+    /// Health thresholds published with the engine's observability state
+    /// and evaluated by `/healthz` / `/readyz` (see [`Engine::obs`]).
+    pub health: HealthConfig,
 }
 
 impl Default for EngineConfig {
@@ -107,6 +113,7 @@ impl Default for EngineConfig {
             batch_max: 64,
             checkpoint_every: 0,
             keep_checkpoints: 2,
+            health: HealthConfig::default(),
         }
     }
 }
@@ -130,6 +137,7 @@ impl EngineConfig {
         if self.keep_checkpoints == 0 {
             return Err(ServeError::InvalidConfig("keep_checkpoints must be >= 1".to_string()));
         }
+        self.health.check().map_err(ServeError::InvalidConfig)?;
         self.pot.check().map_err(|e| ServeError::InvalidConfig(e.to_string()))
     }
 }
@@ -172,6 +180,12 @@ impl EngineConfigBuilder {
     /// Checkpoint files retained on disk (older ones are pruned).
     pub fn keep_checkpoints(mut self, keep_checkpoints: usize) -> Self {
         self.config.keep_checkpoints = keep_checkpoints;
+        self
+    }
+
+    /// Health thresholds published with the engine's observability state.
+    pub fn health(mut self, health: HealthConfig) -> Self {
+        self.config.health = health;
         self
     }
 

@@ -54,7 +54,11 @@ mod sink;
 pub mod span;
 
 pub use event::{Event, EventBuilder, Value};
-pub use metrics::{Histogram, MetricSnapshot};
+pub use metrics::{Histogram, Metric, MetricsSnapshot, BUCKETS};
+
+/// Former name of [`MetricsSnapshot`], kept as an alias so existing callers
+/// keep compiling.
+pub type MetricSnapshot = MetricsSnapshot;
 pub use recorder::{global, Recorder};
 pub use sink::{EventSink, JsonlSink, MemorySink, NullSink};
 pub use span::{SpanGuard, SpanScope};
@@ -258,6 +262,88 @@ mod tests {
         let mut one = Histogram::default();
         one.record(3.0);
         assert_eq!(one.quantile(0.5), 3.0);
+    }
+
+    #[test]
+    fn quantile_rejects_non_finite_and_out_of_range_q() {
+        let mut h = Histogram::default();
+        for v in [1.0, 2.0, 4.0, 8.0] {
+            h.record(v);
+        }
+        // A q that is not a probability is answered with NaN, never with a
+        // silently clamped bucket walk.
+        assert!(h.quantile(f64::NAN).is_nan());
+        assert!(h.quantile(-0.1).is_nan());
+        assert!(h.quantile(1.1).is_nan());
+        assert!(h.quantile(f64::INFINITY).is_nan());
+        assert!(h.quantile(f64::NEG_INFINITY).is_nan());
+        // Valid extremes still work exactly as before.
+        assert_eq!(h.quantile(0.0), 1.0);
+        assert_eq!(h.quantile(1.0), 8.0);
+        // An empty histogram is NaN for every q, valid or not.
+        let empty = Histogram::default();
+        assert!(empty.quantile(0.5).is_nan());
+        assert!(empty.quantile(-0.1).is_nan());
+    }
+
+    #[test]
+    fn bucket_boundaries_are_increasing_and_cover_the_clamp() {
+        use crate::metrics::BUCKETS;
+        assert_eq!(Histogram::bucket_upper(32), 2.0, "bucket 32 covers [1, 2)");
+        assert_eq!(Histogram::bucket_upper(33), 4.0);
+        assert_eq!(Histogram::bucket_upper(BUCKETS - 1), f64::INFINITY);
+        for i in 1..BUCKETS {
+            assert!(
+                Histogram::bucket_upper(i - 1) < Histogram::bucket_upper(i),
+                "boundaries must be strictly increasing at {i}"
+            );
+        }
+        // Every recorded value lands in a bucket whose boundary covers it.
+        for v in [1e-12, 0.3, 1.0, 1.9999, 1e9, 1e300] {
+            let b = Histogram::bucket_for(v);
+            assert!(v <= Histogram::bucket_upper(b), "v={v} above its bucket {b} boundary");
+        }
+    }
+
+    #[test]
+    fn snapshot_iterates_in_deterministic_name_order() {
+        let rec = Recorder::with_sink(Arc::new(MemorySink::new(4)));
+        rec.add("zeta", 1);
+        rec.gauge("alpha", 2.0);
+        rec.observe("mid", 3.0);
+        let snap = rec.snapshot();
+        assert_eq!(snap.len(), 3);
+        assert!(!snap.is_empty());
+        let names: Vec<&str> = snap.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["alpha", "mid", "zeta"]);
+        // A disabled recorder's snapshot is the empty table.
+        assert!(Recorder::disabled().snapshot().is_empty());
+    }
+
+    #[test]
+    fn jsonl_sink_explicit_flush_persists_tail_before_kill() {
+        let path = std::env::temp_dir()
+            .join(format!("tranad-telemetry-flush-{}.jsonl", std::process::id()));
+        let sink = Arc::new(JsonlSink::create(&path).unwrap());
+        let rec = Recorder::with_sink(sink.clone());
+        rec.emit("serve.batch", |e| {
+            e.u64("points", 3);
+        });
+        rec.emit("serve.batch", |e| {
+            e.u64("points", 4);
+        });
+        // The pre-kill flush: everything recorded so far must already be
+        // readable on disk while the sink is still alive (no reliance on
+        // Drop — a SIGKILL'd process never runs it).
+        sink.flush();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2, "tail events lost without drop");
+        for line in text.lines() {
+            tranad_json::parse(line).expect("flushed line is whole, not torn");
+        }
+        drop(rec);
+        drop(sink);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

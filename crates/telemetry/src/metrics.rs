@@ -1,6 +1,9 @@
 //! In-recorder metric aggregates: counters, gauges and log2-bucketed
 //! histograms. Metrics live in a `BTreeMap` keyed by static name so
-//! [`crate::Recorder::flush_metrics`] emits them in a deterministic order.
+//! [`crate::Recorder::flush_metrics`] emits them in a deterministic order
+//! and [`crate::Recorder::snapshot`] hands out a deterministic-ordered
+//! [`MetricsSnapshot`] — the point-in-time view a live metrics exporter
+//! (e.g. `tranad-obs`) renders without disturbing the sink.
 
 use std::collections::BTreeMap;
 
@@ -56,6 +59,21 @@ impl Histogram {
         (v.log2().floor() as i32 + BUCKET_BIAS).clamp(0, BUCKETS as i32 - 1) as usize
     }
 
+    /// Upper boundary of bucket `i` (inclusive upper edge in the
+    /// Prometheus `le` sense): bucket `i >= 1` covers `[2^(i-32), 2^(i-31))`
+    /// so its boundary is `2^(i-31)`; bucket 0 (non-positive and underflow)
+    /// reports `2^-31`; the last bucket also absorbs every overflowing
+    /// value (see [`Histogram::bucket_for`]'s clamp), so its boundary is
+    /// `+inf`. Boundaries are strictly increasing in `i`, which is exactly
+    /// what a cumulative-bucket exposition needs.
+    pub fn bucket_upper(i: usize) -> f64 {
+        assert!(i < BUCKETS, "bucket index {i} out of range");
+        if i == BUCKETS - 1 {
+            return f64::INFINITY;
+        }
+        2f64.powi(i as i32 - BUCKET_BIAS + 1)
+    }
+
     /// Records one observation. Non-finite values (NaN, ±inf) are counted
     /// in [`Histogram::dropped`] and otherwise ignored: folding them into
     /// `sum`/`min`/`max` would make `mean()` NaN forever after a single
@@ -88,12 +106,15 @@ impl Histogram {
     /// observed `[min, max]` range — so the estimate is never coarser than
     /// one power of two and exact at the extremes (`q=0` → min, `q=1` →
     /// max up to bucket resolution). Bucket 0 (non-positive underflow)
-    /// reports `min`.
+    /// reports `min`. A `q` outside `[0, 1]` (including NaN) is not a
+    /// quantile: the answer is NaN, never a silently clamped bucket walk.
     pub fn quantile(&self, q: f64) -> f64 {
+        if !q.is_finite() || !(0.0..=1.0).contains(&q) {
+            return f64::NAN;
+        }
         if self.count == 0 {
             return f64::NAN;
         }
-        let q = q.clamp(0.0, 1.0);
         if q == 0.0 {
             return self.min;
         }
@@ -124,15 +145,34 @@ pub enum Metric {
     Histogram(Box<Histogram>),
 }
 
-/// The recorder's metric table. Wrapped by the recorder behind a mutex;
-/// kept as its own type so tests and `flush_metrics` can walk it.
+/// The recorder's metric table — and, cloned out by
+/// [`crate::Recorder::snapshot`], the point-in-time metrics view exporters
+/// render from. Wrapped by the recorder behind a mutex; kept as its own
+/// type so tests, `flush_metrics` and scrapers can walk it without holding
+/// the recorder's lock. Iteration order is the `BTreeMap`'s name order, so
+/// two snapshots of the same metrics render identically.
 #[derive(Clone, Debug, Default)]
-pub struct MetricSnapshot {
+pub struct MetricsSnapshot {
     /// Metrics by name, sorted (BTreeMap) for deterministic emission.
     pub metrics: BTreeMap<&'static str, Metric>,
 }
 
-impl MetricSnapshot {
+impl MetricsSnapshot {
+    /// Deterministic (name-ordered) iteration over every metric.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, &Metric)> {
+        self.metrics.iter().map(|(&name, metric)| (name, metric))
+    }
+
+    /// Number of distinct metrics in the snapshot.
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// `true` when the snapshot holds no metrics (e.g. taken from a
+    /// disabled recorder).
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
     /// Adds `n` to the named counter (creating it at zero).
     pub fn add(&mut self, name: &'static str, n: u64) {
         if let Metric::Counter(c) = self.metrics.entry(name).or_insert(Metric::Counter(0)) {

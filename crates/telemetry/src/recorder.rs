@@ -5,7 +5,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 use crate::event::EventBuilder;
-use crate::metrics::{Metric, MetricSnapshot};
+use crate::metrics::{Metric, MetricsSnapshot};
 use crate::sink::{EventSink, JsonlSink};
 
 /// Event timestamp source. The fake variant stamps a monotonic counter
@@ -33,7 +33,7 @@ struct Inner {
     /// their own recorders stay deterministic). Id 0 is reserved for "no
     /// parent" — the first span gets id 1.
     span_seq: AtomicU64,
-    metrics: Mutex<MetricSnapshot>,
+    metrics: Mutex<MetricsSnapshot>,
 }
 
 /// A cheap, cloneable telemetry handle. A disabled recorder is a `None`:
@@ -82,7 +82,7 @@ impl Recorder {
                 sink,
                 clock,
                 span_seq: AtomicU64::new(0),
-                metrics: Mutex::new(MetricSnapshot::default()),
+                metrics: Mutex::new(MetricsSnapshot::default()),
             })),
         }
     }
@@ -164,11 +164,16 @@ impl Recorder {
         inner.metrics.lock().unwrap().observe(name, v);
     }
 
-    /// A copy of the current metric table (empty when disabled).
-    pub fn snapshot(&self) -> MetricSnapshot {
+    /// A point-in-time copy of the current metric table (empty when
+    /// disabled). This is the read path for live exporters: it holds the
+    /// metrics mutex only for the clone, never touches the sink, and on a
+    /// disabled recorder it returns the (allocation-free) empty snapshot —
+    /// so scraping a serving process perturbs neither the event stream nor
+    /// the disabled-path alloc budget.
+    pub fn snapshot(&self) -> MetricsSnapshot {
         match &self.inner {
             Some(inner) => inner.metrics.lock().unwrap().clone(),
-            None => MetricSnapshot::default(),
+            None => MetricsSnapshot::default(),
         }
     }
 

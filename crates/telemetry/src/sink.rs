@@ -106,6 +106,17 @@ impl JsonlSink {
         let file = File::create(path)?;
         Ok(JsonlSink { writer: Mutex::new(BufWriter::new(file)) })
     }
+
+    /// Explicitly flushes buffered lines to disk. Callers that own the
+    /// sink (rather than going through a `dyn EventSink`) can call this at
+    /// durability boundaries — e.g. a serving engine flushes between
+    /// batches so a kill right after a batch loses no tail events. The
+    /// sink also flushes per record and on drop, so this is the belt to
+    /// those suspenders: it stays correct even if per-record flushing is
+    /// ever relaxed for throughput.
+    pub fn flush(&self) {
+        let _ = self.writer.lock().unwrap().flush();
+    }
 }
 
 impl EventSink for JsonlSink {
@@ -118,7 +129,7 @@ impl EventSink for JsonlSink {
     }
 
     fn flush(&self) {
-        let _ = self.writer.lock().unwrap().flush();
+        JsonlSink::flush(self);
     }
 }
 

@@ -127,6 +127,20 @@ impl OnlineState {
         self.spots.iter().map(|s| s.refits()).sum()
     }
 
+    /// The live SPOT anomaly threshold of dimension `d` (`z_q`, which
+    /// adapts as the stream evolves), or `None` for an out-of-range
+    /// dimension.
+    pub fn spot_threshold(&self, d: usize) -> Option<f64> {
+        self.spots.get(d).map(|s| s.threshold)
+    }
+
+    /// The largest live SPOT threshold across all dimensions — the
+    /// single-number "how far from alarming is this stream" summary a
+    /// per-stream stats table reports.
+    pub fn spot_threshold_max(&self) -> f64 {
+        self.spots.iter().map(|s| s.threshold).fold(f64::NEG_INFINITY, f64::max)
+    }
+
     /// Consumes one raw datapoint and returns its verdict.
     ///
     /// Fails with [`DetectorError::DimensionMismatch`] when the datapoint's

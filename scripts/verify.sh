@@ -33,9 +33,12 @@ echo "==> cross-stream batched vs per-stream serving parity (bitwise; TRANAD_THR
 TRANAD_THREADS=1 cargo test --release -q -p tranad-serve --test batch_parity
 TRANAD_THREADS=8 cargo test --release -q -p tranad-serve --test batch_parity
 
-echo "==> batched serving throughput gate (>= 1.5x per-stream at 32 streams)"
+echo "==> observability smoke (exporter endpoints over a live engine)"
+cargo run --release -q -p tranad-bench --bin obs-smoke
+
+echo "==> batched serving throughput gate (>= 1.5x per-stream; exporter overhead < 5% while scraped)"
 TRANAD_THREADS=1 cargo run --release -q -p tranad-bench --bin bench-serve -- \
-  --out results/serve_throughput.json --min-speedup 1.5
+  --out results/serve_throughput.json --min-speedup 1.5 --max-obs-overhead 0.05
 
 echo "==> trace smoke-run (TRANAD_TRACE JSONL well-formedness)"
 TRACE_TMP="$(mktemp /tmp/tranad_trace.XXXXXX.jsonl)"
