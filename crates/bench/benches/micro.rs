@@ -96,10 +96,15 @@ fn bench_autograd_overhead() {
 }
 
 fn bench_attention() {
-    let tape = Tape::new();
-    let q = tape.leaf(Tensor::from_fn([16, 10, 32], |i| (i as f64 * 0.03).sin()));
-    let mask = tape.leaf(causal_mask(10));
+    let qt = Tensor::from_fn([16, 10, 32], |i| (i as f64 * 0.03).sin());
+    let mask_t = causal_mask(10);
+    // Fresh tape per iteration: a shared tape would accumulate every
+    // iteration's nodes (and their tensors), so later samples would time
+    // allocator growth instead of the attention forward.
     bench("nn/causal_self_attention_16x10x32", || {
+        let tape = Tape::new();
+        let q = tape.leaf(qt.clone());
+        let mask = tape.leaf(mask_t.clone());
         black_box(scaled_dot_attention(&q, &q, &q, Some(&mask)).value());
     });
 }

@@ -17,6 +17,8 @@
 //!   training steps recycle buffers instead of allocating.
 //! - [`check`]: finite-difference gradient checking used across the
 //!   workspace's tests.
+//! - [`kernels`]: packed, register-tiled matmul micro-kernels (and the
+//!   naive `reference_*` forms they are tested bitwise-equal to).
 //! - [`pool`]: a from-scratch thread pool driving the matmul/elementwise
 //!   hot paths (`TRANAD_THREADS` to override sizing; results are bitwise
 //!   identical for any thread count).
@@ -40,6 +42,7 @@
 pub mod buf;
 pub mod bufpool;
 pub mod check;
+pub mod kernels;
 pub mod pool;
 pub mod rng;
 pub mod shape;

@@ -320,6 +320,15 @@ pub fn parallel_ranges(n: usize, grain: usize, f: impl Fn(usize, usize) + Sync) 
     });
 }
 
+/// Rounds `grain` up to a whole multiple of `tile` (at least one tile).
+/// Row-block partitions aligned this way always split on micro-kernel tile
+/// boundaries, so the parallel chunks drive the exact same sequence of
+/// full and ragged-edge tiles as one serial sweep over the whole output.
+pub fn aligned_grain(grain: usize, tile: usize) -> usize {
+    let tile = tile.max(1);
+    grain.max(1).div_ceil(tile) * tile
+}
+
 /// Runs `f(start_index, chunk)` over `chunk_len`-sized mutable chunks of
 /// `out` across the pool (the last chunk may be shorter). The chunks are
 /// disjoint, so each task owns its slice.
@@ -439,6 +448,16 @@ mod tests {
         });
         let expect: Vec<usize> = (0..100).collect();
         assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn aligned_grain_rounds_up_to_tile_multiples() {
+        assert_eq!(aligned_grain(1, 4), 4);
+        assert_eq!(aligned_grain(4, 4), 4);
+        assert_eq!(aligned_grain(5, 4), 8);
+        assert_eq!(aligned_grain(64, 4), 64);
+        assert_eq!(aligned_grain(0, 4), 4);
+        assert_eq!(aligned_grain(7, 0), 7);
     }
 
     #[test]

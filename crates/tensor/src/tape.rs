@@ -603,7 +603,9 @@ impl Var {
                     let c = *scale;
                     let gs = g.map(|x| x * c);
                     let ga = gs.matmul(&bv);
-                    let gb = gs.transpose().matmul(&av);
+                    // gs^T @ a without materializing the transpose (same
+                    // ascending summation order — bitwise identical).
+                    let gb = gs.matmul_tn(&av);
                     Rule::Two { a: *a, ga, b: *b, gb }
                 }
             }
@@ -625,15 +627,26 @@ impl Var {
 }
 
 /// dA, dB for `out = A @ B` given `g = dOut`.
+///
+/// Runs on the transpose-free tiled kernels: `g @ B^T` via
+/// [`Tensor::matmul_nt_scaled`] with scale 1 (`x * 1.0` is a bitwise
+/// identity) and `A^T @ g` via [`Tensor::matmul_tn`]. Both accumulate in
+/// the same index order as the materialized-transpose chain, so gradients
+/// are bitwise identical to the old `transpose()`-based rules without the
+/// transpose allocations.
 fn matmul_backward(g: &Tensor, a: &Tensor, b: &Tensor) -> (Tensor, Tensor) {
     match (a.shape().rank(), b.shape().rank()) {
-        (2, 2) => (g.matmul(&b.transpose()), a.transpose().matmul(g)),
+        (2, 2) => (g.matmul_nt_scaled(b, 1.0), a.matmul_tn(g)),
         (3, 2) => {
-            let ga = g.matmul(&b.transpose());
-            let gb_batched = a.transpose().matmul(g); // [b, k, m]
+            // Shared rhs: flatten the batch so `g @ B^T` runs as one 2-d
+            // nt product against the shared weight (reshape is O(1)).
+            let (bb, n, m) = (g.shape().dim(0), g.shape().dim(1), g.shape().dim(2));
+            let kk = a.shape().dim(2);
+            let ga = g.reshape([bb * n, m]).matmul_nt_scaled(b, 1.0).reshape([bb, n, kk]);
+            let gb_batched = a.matmul_tn(g); // [b, k, m]
             (ga, sum_axis0(&gb_batched))
         }
-        (3, 3) => (g.matmul(&b.transpose()), a.transpose().matmul(g)),
+        (3, 3) => (g.matmul_nt_scaled(b, 1.0), a.matmul_tn(g)),
         _ => unreachable!("matmul forward validated ranks"),
     }
 }

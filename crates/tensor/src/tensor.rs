@@ -7,6 +7,7 @@
 //! thread-local pool instead of the system allocator.
 
 use crate::buf::Buf;
+use crate::kernels::{self, Epilogue};
 use crate::pool;
 use crate::shape::Shape;
 use std::fmt;
@@ -396,40 +397,31 @@ impl Tensor {
     /// are bitwise identical to the allocating form (same kernels, same
     /// summation order) — this only changes where the output lives.
     pub fn matmul_into(&self, rhs: &Tensor, out: &mut Tensor) {
+        self.matmul_epilogue_into(rhs, Epilogue::NONE, out);
+    }
+
+    /// Shared dispatch for [`Tensor::matmul_into`] and
+    /// [`Tensor::matmul_bias_act_into`]: the tiled kernels from
+    /// [`crate::kernels`] with `epi` folded into each tile write-out.
+    fn matmul_epilogue_into(&self, rhs: &Tensor, epi: Epilogue, out: &mut Tensor) {
         match (self.shape.rank(), rhs.shape.rank()) {
             (2, 2) => {
                 let (n, k) = (self.shape.dim(0), self.shape.dim(1));
                 let (k2, m) = (rhs.shape.dim(0), rhs.shape.dim(1));
                 assert_eq!(k, k2, "matmul inner dim: {} vs {}", self.shape, rhs.shape);
                 let od = take_out(out, Shape::new([n, m]));
-                od.fill(0.0); // the kernel accumulates
-                if n * k * m < MATMUL_CUTOFF {
-                    matmul_kernel(&self.data, &rhs.data, od, n, k, m);
-                } else {
-                    // Row-blocks of the output: each task owns rows
-                    // `[r0, r1)` of `out` and reads the same rows of `a`.
-                    let row_grain = (MATMUL_CUTOFF / (k * m)).max(1);
-                    pool::parallel_chunks_mut(od, row_grain * m, |start, chunk| {
-                        let r0 = start / m;
-                        let rows = chunk.len() / m;
-                        matmul_kernel(
-                            &self.data[r0 * k..(r0 + rows) * k],
-                            &rhs.data,
-                            chunk,
-                            rows,
-                            k,
-                            m,
-                        );
-                    });
-                }
+                matmul_shared_rhs(&self.data, &rhs.data, od, n, k, m, epi);
             }
             (3, 2) => {
+                // A shared rhs makes the batch dimension just more rows:
+                // `[b, n, k] @ [k, m]` is `[b * n, k] @ [k, m]` on the same
+                // contiguous storage, so the whole batch row-blocks (and
+                // packs the rhs once) like one big 2-d product.
                 let (b, n, k) = (self.shape.dim(0), self.shape.dim(1), self.shape.dim(2));
                 let (k2, m) = (rhs.shape.dim(0), rhs.shape.dim(1));
                 assert_eq!(k, k2, "matmul inner dim: {} vs {}", self.shape, rhs.shape);
                 let od = take_out(out, Shape::new([b, n, m]));
-                od.fill(0.0);
-                batched_matmul(&self.data, None, od, b, n, k, m, &rhs.data);
+                matmul_shared_rhs(&self.data, &rhs.data, od, b * n, k, m, epi);
             }
             (3, 3) => {
                 let (b, n, k) = (self.shape.dim(0), self.shape.dim(1), self.shape.dim(2));
@@ -437,8 +429,7 @@ impl Tensor {
                 assert_eq!(b, b2, "matmul batch dim: {} vs {}", self.shape, rhs.shape);
                 assert_eq!(k, k2, "matmul inner dim: {} vs {}", self.shape, rhs.shape);
                 let od = take_out(out, Shape::new([b, n, m]));
-                od.fill(0.0);
-                batched_matmul(&self.data, Some(k * m), od, b, n, k, m, &rhs.data);
+                matmul_batched_rhs(&self.data, &rhs.data, od, b, n, k, m, epi);
             }
             _ => panic!(
                 "unsupported matmul ranks: {} x {}",
@@ -447,11 +438,12 @@ impl Tensor {
         }
     }
 
-    /// Fused `act(self @ w + bias)`. The matmul is the usual (possibly
-    /// parallel) kernel; bias and activation are applied in one serial pass
-    /// over the unique output buffer, so the result is bitwise identical to
+    /// Fused `act(self @ w + bias)`. Bias and activation are folded into
+    /// the micro-kernel's tile write-out — per row-block, on whichever
+    /// thread computed the block — so the result is bitwise identical to
     /// the unfused `matmul` → broadcast-add → `map` chain while recording a
-    /// single tape node and allocating a single output.
+    /// single tape node, allocating a single output, and never re-walking
+    /// the finished buffer.
     pub fn matmul_bias_act(&self, w: &Tensor, bias: Option<&Tensor>, act: Act) -> Tensor {
         let mut out = Tensor::uninit(Shape::scalar());
         self.matmul_bias_act_into(w, bias, act, &mut out);
@@ -467,22 +459,12 @@ impl Tensor {
         act: Act,
         out: &mut Tensor,
     ) {
-        self.matmul_into(w, out);
-        if bias.is_none() && act == Act::Identity {
-            return;
-        }
-        let m = out.shape.last_dim();
+        let m = w.shape.last_dim();
         if let Some(b) = bias {
             assert_eq!(b.numel(), m, "bias {} vs last dim {m}", b.shape());
         }
-        let bd = bias.map(|b| b.data());
-        for (o, j) in out.data.make_mut().iter_mut().zip((0..m).cycle()) {
-            let pre = match bd {
-                Some(b) => *o + b[j],
-                None => *o,
-            };
-            *o = act.apply(pre);
-        }
+        let epi = Epilogue { bias: bias.map(|b| b.data()), act };
+        self.matmul_epilogue_into(w, epi, out);
     }
 
     /// Fused `(self @ rhs^T) * scale` without materializing the transpose.
@@ -520,9 +502,33 @@ impl Tensor {
             Shape::new([b, n, m])
         };
         let od = take_out(out, out_shape);
+        if b == 1 {
+            // Single plane: row-block it like the NN path (tile-aligned so
+            // the chunks replay the serial tile sequence exactly).
+            if n * k * m < MATMUL_CUTOFF {
+                kernels::matmul_nt_tiled(&self.data, &rhs.data, od, n, k, m, scale);
+            } else {
+                let grain =
+                    pool::aligned_grain((MATMUL_CUTOFF / (k * m).max(1)).max(1), kernels::MR);
+                pool::parallel_chunks_mut(od, grain * m, |start, chunk| {
+                    let r0 = start / m;
+                    let rows = chunk.len() / m;
+                    kernels::matmul_nt_tiled(
+                        &self.data[r0 * k..(r0 + rows) * k],
+                        &rhs.data,
+                        chunk,
+                        rows,
+                        k,
+                        m,
+                        scale,
+                    );
+                });
+            }
+            return;
+        }
         let plane = n * m;
         let kernel_one = |bi: usize, dst: &mut [f64]| {
-            matmul_nt_kernel(
+            kernels::matmul_nt_tiled(
                 &self.data[bi * n * k..(bi + 1) * n * k],
                 &rhs.data[bi * m * k..(bi + 1) * m * k],
                 dst,
@@ -530,6 +536,83 @@ impl Tensor {
                 k,
                 m,
                 scale,
+            );
+        };
+        if b * n * k * m < MATMUL_CUTOFF {
+            for (bi, dst) in od.chunks_mut(plane).enumerate() {
+                kernel_one(bi, dst);
+            }
+        } else {
+            pool::parallel_chunks_mut(od, plane, |start, chunk| {
+                kernel_one(start / plane, chunk);
+            });
+        }
+    }
+
+    /// `self^T @ rhs` without materializing the transpose: `[n, k] x [n, m]
+    /// -> [k, m]`, or batched `[b, n, k] x [b, n, m] -> [b, k, m]` (plane by
+    /// plane). Every output element sums over the shared `n` axis in
+    /// ascending order — the same order as
+    /// `self.transpose().matmul(rhs)` — so results match the
+    /// transpose-then-multiply chain bitwise. This is the grad-matmul shape
+    /// the tape's backward closures need.
+    pub fn matmul_tn(&self, rhs: &Tensor) -> Tensor {
+        let mut out = Tensor::uninit(Shape::scalar());
+        self.matmul_tn_into(rhs, &mut out);
+        out
+    }
+
+    /// [`Tensor::matmul_tn`] writing into a caller-provided tensor
+    /// (see [`Tensor::matmul_into`] for the reuse contract).
+    pub fn matmul_tn_into(&self, rhs: &Tensor, out: &mut Tensor) {
+        let rank = self.shape.rank();
+        assert_eq!(rank, rhs.shape.rank(), "matmul_tn rank: {} vs {}", self.shape, rhs.shape);
+        assert!(rank == 2 || rank == 3, "matmul_tn supports rank 2 or 3, got {}", self.shape);
+        let (b, n, k) = if rank == 2 {
+            (1, self.shape.dim(0), self.shape.dim(1))
+        } else {
+            (self.shape.dim(0), self.shape.dim(1), self.shape.dim(2))
+        };
+        let (b2, n2, m) = if rank == 2 {
+            (1, rhs.shape.dim(0), rhs.shape.dim(1))
+        } else {
+            (rhs.shape.dim(0), rhs.shape.dim(1), rhs.shape.dim(2))
+        };
+        assert_eq!(b, b2, "matmul_tn batch dim: {} vs {}", self.shape, rhs.shape);
+        assert_eq!(n, n2, "matmul_tn shared dim: {} vs {}", self.shape, rhs.shape);
+        let out_shape = if rank == 2 {
+            Shape::new([k, m])
+        } else {
+            Shape::new([b, k, m])
+        };
+        let od = take_out(out, out_shape);
+        if b == 1 {
+            // Row-block the [k, m] output: each task owns output rows
+            // [l0, l0 + rows) — columns [l0, l0 + rows) of self — and
+            // streams all of `rhs`.
+            if n * k * m < MATMUL_CUTOFF {
+                kernels::matmul_tn_tiled(&self.data, k, &rhs.data, od, n, k, m);
+            } else {
+                let grain =
+                    pool::aligned_grain((MATMUL_CUTOFF / (n * m).max(1)).max(1), kernels::MR);
+                pool::parallel_chunks_mut(od, grain * m, |start, chunk| {
+                    let l0 = start / m;
+                    let rows = chunk.len() / m;
+                    kernels::matmul_tn_tiled(&self.data[l0..], k, &rhs.data, chunk, n, rows, m);
+                });
+            }
+            return;
+        }
+        let plane = k * m;
+        let kernel_one = |bi: usize, dst: &mut [f64]| {
+            kernels::matmul_tn_tiled(
+                &self.data[bi * n * k..(bi + 1) * n * k],
+                k,
+                &rhs.data[bi * n * m..(bi + 1) * n * m],
+                dst,
+                n,
+                k,
+                m,
             );
         };
         if b * n * k * m < MATMUL_CUTOFF {
@@ -782,77 +865,89 @@ fn take_out(out: &mut Tensor, shape: Shape) -> &mut [f64] {
     out.data.make_mut()
 }
 
-/// Naive-but-cache-friendly `out[n,m] += a[n,k] * b[k,m]` (out starts zeroed).
-/// Iterating `i, l, j` keeps the inner loop contiguous over both `b` and `out`.
-///
-/// Deliberately no `a_il == 0.0` shortcut: skipping a row would turn
-/// `0 * NaN` and `0 * inf` into `0`, silently masking non-finite values
-/// (e.g. a NaN gradient flowing through masked attention) instead of
-/// propagating them IEEE-754-style.
-fn matmul_kernel(a: &[f64], b: &[f64], out: &mut [f64], n: usize, k: usize, m: usize) {
-    for i in 0..n {
-        let a_row = &a[i * k..(i + 1) * k];
-        let out_row = &mut out[i * m..(i + 1) * m];
-        for (l, &a_il) in a_row.iter().enumerate() {
-            let b_row = &b[l * m..(l + 1) * m];
-            for (o, &b_lj) in out_row.iter_mut().zip(b_row) {
-                *o += a_il * b_lj;
-            }
-        }
-    }
-}
-
-/// `out[n,m] = (a[n,k] . b[m,k]) * scale`: row-by-row dot products against
-/// an un-transposed `b`, accumulating over `k` in ascending order — the
-/// same summation order as `matmul_kernel` on a materialized transpose.
-fn matmul_nt_kernel(
+/// `rows x k @ k x m` against a single shared rhs: packs the rhs once (into
+/// recycled [`crate::bufpool`] scratch) when [`kernels::should_pack`] says
+/// the pack pass pays for itself, then drives tile-aligned row blocks —
+/// serial below [`MATMUL_CUTOFF`] multiply-adds, parallel above. Chunk
+/// boundaries land on [`kernels::MR`]-row tile edges, so serial and
+/// parallel runs execute the identical micro-kernel sequence.
+fn matmul_shared_rhs(
     a: &[f64],
     b: &[f64],
     out: &mut [f64],
-    n: usize,
+    rows: usize,
     k: usize,
     m: usize,
-    scale: f64,
+    epi: Epilogue,
 ) {
-    for i in 0..n {
-        let a_row = &a[i * k..(i + 1) * k];
-        for j in 0..m {
-            let b_row = &b[j * k..(j + 1) * k];
-            let mut acc = 0.0;
-            for (&x, &y) in a_row.iter().zip(b_row) {
-                acc += x * y;
-            }
-            out[i * m + j] = acc * scale;
-        }
+    if kernels::should_pack(rows, k, m) {
+        kernels::with_pack_scratch(k * m, |bp| {
+            kernels::pack_rhs(b, k, m, bp);
+            let bp = &*bp;
+            run_row_blocks(a, out, rows, k, m, &|ar, oc, rs| {
+                kernels::matmul_tiled_packed(ar, bp, oc, rs, k, m, epi);
+            });
+        });
+    } else {
+        run_row_blocks(a, out, rows, k, m, &|ar, oc, rs| {
+            kernels::matmul_tiled_direct(ar, b, oc, rs, k, m, epi);
+        });
     }
 }
 
-/// `[b, n, k] x [k, m]` (shared rhs, `rhs_stride = None`) or
-/// `[b, n, k] x [b, k, m]` (`rhs_stride = Some(k * m)`), parallel over the
-/// batch dimension above the work cutoff. Each task owns one batch's
-/// output plane, so results never depend on the thread count.
-#[allow(clippy::too_many_arguments)] // one shared kernel for both batched forms
-fn batched_matmul(
+/// Runs `kern(a_rows, out_chunk, rows_in_chunk)` over tile-aligned row
+/// blocks of the output — one serial call below the work cutoff, parallel
+/// chunks above. Each task owns rows `[r0, r1)` of `out` and reads the same
+/// rows of `a`.
+#[allow(clippy::type_complexity)]
+fn run_row_blocks(
     a: &[f64],
-    rhs_stride: Option<usize>,
+    out: &mut [f64],
+    rows: usize,
+    k: usize,
+    m: usize,
+    kern: &(dyn Fn(&[f64], &mut [f64], usize) + Sync),
+) {
+    if rows * k * m < MATMUL_CUTOFF {
+        kern(a, out, rows);
+    } else {
+        let grain = pool::aligned_grain((MATMUL_CUTOFF / (k * m)).max(1), kernels::MR);
+        pool::parallel_chunks_mut(out, grain * m, |start, chunk| {
+            let r0 = start / m;
+            let rs = chunk.len() / m;
+            kern(&a[r0 * k..(r0 + rs) * k], chunk, rs);
+        });
+    }
+}
+
+/// `[b, n, k] x [b, k, m]` with a per-batch rhs, parallel over the batch
+/// dimension above the work cutoff. Each task owns one batch's output
+/// plane and — when packing pays — packs its rhs plane into its *own*
+/// thread-local pool scratch, so workers never share panel buffers.
+#[allow(clippy::too_many_arguments)]
+fn matmul_batched_rhs(
+    a: &[f64],
+    rhs: &[f64],
     out: &mut [f64],
     b: usize,
     n: usize,
     k: usize,
     m: usize,
-    rhs: &[f64],
+    epi: Epilogue,
 ) {
     let plane = n * m;
+    let pack = kernels::should_pack(n, k, m);
     let kernel_one = |bi: usize, dst: &mut [f64]| {
-        let rhs_base = rhs_stride.map_or(0, |s| bi * s);
-        matmul_kernel(
-            &a[bi * n * k..(bi + 1) * n * k],
-            &rhs[rhs_base..rhs_base + k * m],
-            dst,
-            n,
-            k,
-            m,
-        );
+        let ap = &a[bi * n * k..(bi + 1) * n * k];
+        let bp = &rhs[bi * k * m..(bi + 1) * k * m];
+        if pack {
+            kernels::with_pack_scratch(k * m, |scratch| {
+                kernels::pack_rhs(bp, k, m, scratch);
+                kernels::matmul_tiled_packed(ap, scratch, dst, n, k, m, epi);
+            });
+        } else {
+            kernels::matmul_tiled_direct(ap, bp, dst, n, k, m, epi);
+        }
     };
     if b * n * k * m < MATMUL_CUTOFF {
         for (bi, dst) in out.chunks_mut(plane).enumerate() {

@@ -39,6 +39,21 @@ fn battery(seed: u64) -> Vec<f64> {
     out.extend_from_slice(a.matmul(&b).data());
     out.extend_from_slice(a.matmul_nt_scaled(&fill(&[3, 2, 5]), 0.5).data());
     out.extend_from_slice(a.matmul_bias_act(&b, Some(&c), Act::Tanh).data());
+
+    // Matmuls big enough that the tiled kernels pack the rhs into pooled
+    // per-thread panel scratch (`kernels::should_pack` is true for these
+    // shapes): if packing ever read a stale element from a recycled — here
+    // NaN-poisoned — scratch buffer, these results would differ.
+    let big_a = fill(&[48, 50]);
+    let big_b = fill(&[50, 48]);
+    let big_bias = fill(&[48]);
+    out.extend_from_slice(big_a.matmul(&big_b).data());
+    out.extend_from_slice(big_a.matmul_bias_act(&big_b, Some(&big_bias), Act::Sigmoid).data());
+    let big_a3 = fill(&[2, 24, 50]);
+    let big_b3 = fill(&[2, 50, 48]);
+    out.extend_from_slice(big_a3.matmul(&big_b3).data());
+    out.extend_from_slice(big_a3.matmul(&big_b).data());
+    out.extend_from_slice(big_a.matmul_tn(&fill(&[48, 44])).data());
     out.extend_from_slice(a.map(|v| v * 2.0 + 1.0).data());
     let row5 = fill(&[5]);
     out.extend_from_slice(a.broadcast_zip(&row5, |x, y| x + y).data());

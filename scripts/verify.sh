@@ -33,6 +33,14 @@ echo "==> cross-stream batched vs per-stream serving parity (bitwise; TRANAD_THR
 TRANAD_THREADS=1 cargo test --release -q -p tranad-serve --test batch_parity
 TRANAD_THREADS=8 cargo test --release -q -p tranad-serve --test batch_parity
 
+echo "==> tiled-kernel parity vs reference kernels (bitwise; TRANAD_THREADS=1 vs 8)"
+TRANAD_THREADS=1 cargo test --release -q -p tranad-tensor --test kernel_parity
+TRANAD_THREADS=8 cargo test --release -q -p tranad-tensor --test kernel_parity
+
+echo "==> kernel throughput gate (tiled >= 1.3x reference on the training shape)"
+cargo run --release -q -p tranad-bench --bin bench-kernels -- \
+  --out results/kernel_throughput.json --bench-out BENCH_kernels.json --min-speedup 1.3
+
 echo "==> observability smoke (exporter endpoints over a live engine)"
 cargo run --release -q -p tranad-bench --bin obs-smoke
 
